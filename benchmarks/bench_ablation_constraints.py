@@ -1,0 +1,13 @@
+"""Benchmark ``ablation_c5``: breaking Theorem 1's conditions (Section V, scenario 3)."""
+
+import pytest
+
+from repro.experiments import run_ablation_constraints
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_constraint_ablation(benchmark):
+    result = benchmark.pedantic(run_ablation_constraints, rounds=1, iterations=1)
+    print()
+    print(result.render())
+    assert result.passed, result.failed_checks()

@@ -1,0 +1,13 @@
+"""Benchmark ``fig1``: regenerate the PTE timeline quantities of Fig. 1."""
+
+import pytest
+
+from repro.experiments import run_fig1
+
+
+@pytest.mark.benchmark(group="figures")
+def test_fig1_pte_timeline(benchmark):
+    result = benchmark.pedantic(run_fig1, rounds=1, iterations=1)
+    print()
+    print(result.render())
+    assert result.passed, result.failed_checks()

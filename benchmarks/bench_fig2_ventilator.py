@@ -1,0 +1,13 @@
+"""Benchmark ``fig2``: regenerate the stand-alone ventilator trajectory of Fig. 2."""
+
+import pytest
+
+from repro.experiments import run_fig2
+
+
+@pytest.mark.benchmark(group="figures")
+def test_fig2_ventilator_trajectory(benchmark):
+    result = benchmark.pedantic(lambda: run_fig2(horizon=60.0), rounds=1, iterations=1)
+    print()
+    print(result.render())
+    assert result.passed, result.failed_checks()

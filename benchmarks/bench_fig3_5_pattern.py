@@ -1,0 +1,14 @@
+"""Benchmark ``fig3_5``: design-pattern automata structure (Figs. 3 and 5)."""
+
+import pytest
+
+from repro.experiments import run_fig3_5
+
+
+@pytest.mark.benchmark(group="figures")
+def test_fig3_5_pattern_structure(benchmark):
+    result = benchmark.pedantic(lambda: run_fig3_5(entity_counts=(2, 3, 4, 5, 8)),
+                                rounds=1, iterations=1)
+    print()
+    print(result.render())
+    assert result.passed, result.failed_checks()

@@ -1,0 +1,13 @@
+"""Benchmark ``fig6``: the atomic elaboration example of Fig. 6."""
+
+import pytest
+
+from repro.experiments import run_fig6
+
+
+@pytest.mark.benchmark(group="figures")
+def test_fig6_elaboration(benchmark):
+    result = benchmark.pedantic(run_fig6, rounds=1, iterations=1)
+    print()
+    print(result.render())
+    assert result.passed, result.failed_checks()

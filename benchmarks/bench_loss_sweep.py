@@ -1,0 +1,16 @@
+"""Benchmark ``loss_sweep``: robustness envelope over packet-loss rates (extension)."""
+
+import pytest
+
+from repro.experiments import run_loss_sweep
+
+
+@pytest.mark.benchmark(group="extensions")
+def test_loss_sweep(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_loss_sweep(loss_levels=(0.0, 0.3, 0.6, 0.9), duration=600.0,
+                               seeds=(1,)),
+        rounds=1, iterations=1)
+    print()
+    print(result.render())
+    assert result.checks["lease_safe_at_every_loss_level"], result.failed_checks()

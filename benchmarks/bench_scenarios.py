@@ -1,0 +1,13 @@
+"""Benchmark ``scenarios``: the Section V qualitative failure scenarios."""
+
+import pytest
+
+from repro.experiments import run_scenarios
+
+
+@pytest.mark.benchmark(group="scenarios")
+def test_section_v_scenarios(benchmark):
+    result = benchmark.pedantic(run_scenarios, rounds=1, iterations=1)
+    print()
+    print(result.render())
+    assert result.passed, result.failed_checks()

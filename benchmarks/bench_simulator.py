@@ -1,0 +1,38 @@
+"""Micro-benchmarks of the simulation substrate itself.
+
+Not a paper artifact: these measure the cost of one case-study trial second
+and of one design-pattern round, so regressions in the engine are visible
+independently of the experiment harness.
+"""
+
+import pytest
+
+from repro.casestudy import CaseStudyConfig, run_trial
+from repro.core import build_pattern_system, laser_tracheotomy_configuration
+from repro.hybrid import CallbackProcess, SimulationEngine
+
+
+@pytest.mark.benchmark(group="substrate")
+def test_case_study_trial_throughput(benchmark):
+    config = CaseStudyConfig()
+
+    def one_trial():
+        return run_trial(config, with_lease=True, seed=1, duration=120.0)
+
+    result = benchmark(one_trial)
+    assert result.failures == 0
+
+
+@pytest.mark.benchmark(group="substrate")
+def test_pattern_round_throughput(benchmark):
+    config = laser_tracheotomy_configuration()
+
+    def one_round():
+        pattern = build_pattern_system(config)
+        process = CallbackProcess(
+            [(14.0, lambda e: e.inject_event(pattern.vocabulary.command_request)),
+             (40.0, lambda e: e.inject_event(pattern.vocabulary.command_cancel))])
+        return SimulationEngine(pattern.system, processes=[process]).run(120.0)
+
+    trace = benchmark(one_round)
+    assert trace.end_time == 120.0

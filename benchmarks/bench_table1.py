@@ -1,0 +1,23 @@
+"""Benchmark ``table1``: regenerate the paper's Table I.
+
+Runs the four 30-minute emulation trials ({with, without lease} x
+{E(Toff) = 18 s, 6 s}) under burst interference and prints the resulting
+rows next to the paper's, asserting the qualitative shape (lease => zero
+failures, baseline => failures, evtToStop only with leases).
+"""
+
+import pytest
+
+from repro.experiments import PAPER_TABLE1, run_table1
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1_full_trials(benchmark):
+    result = benchmark.pedantic(lambda: run_table1(seed=42), rounds=1, iterations=1)
+    print()
+    print(result.render())
+    print("paper Table I rows:", PAPER_TABLE1)
+    assert result.checks["with_lease_never_fails"], result.failed_checks()
+    assert result.checks["baseline_does_fail"], result.failed_checks()
+    assert result.checks["evt_to_stop_only_with_lease"], result.failed_checks()
+    assert result.checks["lease_forced_stops_happen"], result.failed_checks()

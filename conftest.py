@@ -1,0 +1,14 @@
+"""Pytest bootstrap.
+
+Makes the ``src`` layout importable even when the package has not been
+installed (useful on offline machines where ``pip install -e .`` cannot
+build editable metadata because the ``wheel`` package is unavailable; see
+README "Installation" for the supported offline path).
+"""
+
+import sys
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))

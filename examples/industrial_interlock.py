@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Industrial interlock: a four-entity PTE wireless CPS built from the pattern.
+
+The paper's introduction motivates PTE safety rules beyond surgery: any
+distributed procedure in which entities must enter "risky" modes in a fixed
+order with minimum spacings and leave in reverse order.  This example
+models a furnace line:
+
+* ``xi1`` exhaust fan      -- must run (risky = high-power mode) first,
+* ``xi2`` coolant pump     -- may start only 4 s after the fan,
+* ``xi3`` conveyor         -- may start only 2 s after the pump,
+* ``xi4`` plasma torch     -- the Initializer; may fire only 2 s after the
+  conveyor moves, and everything must wind down in reverse order.
+
+The wireless link to the torch is terrible (bursty 90% loss); the example
+shows that the lease design keeps the PTE order intact anyway, and compares
+against the no-lease baseline under the same loss trace.
+
+Run with:  python examples/industrial_interlock.py
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.core import (build_baseline_system, build_pattern_system, check_trace,
+                        synthesize_configuration)
+from repro.hybrid import CallbackProcess, SimulationEngine
+from repro.wireless import GilbertElliottChannel
+
+ENTITIES = ["exhaust_fan", "coolant_pump", "conveyor", "plasma_torch"]
+
+
+def run_variant(with_lease: bool, seed: int = 1) -> None:
+    config = synthesize_configuration(
+        n_entities=4,
+        enter_safeguards=[4.0, 2.0, 2.0],
+        exit_safeguards=[2.0, 1.0, 1.0],
+        t_fallback_min=5.0)
+    builder = build_pattern_system if with_lease else build_baseline_system
+    pattern = builder(config, entity_names=ENTITIES, supervisor_name="plc")
+
+    operator = CallbackProcess([
+        (6.0, lambda e: e.inject_event(pattern.vocabulary.command_request)),
+    ])
+    channel = GilbertElliottChannel(mean_good_duration=40.0, mean_bad_duration=30.0,
+                                    loss_good=0.1, loss_bad=0.9, seed=seed)
+    network = pattern.build_network(default_channel=channel)
+    engine = SimulationEngine(pattern.system, network=network, processes=[operator],
+                              seed=seed)
+    trace = engine.run(250.0)
+    report = check_trace(trace, pattern.rules)
+
+    label = "LEASE-BASED DESIGN" if with_lease else "NO-LEASE BASELINE"
+    print(f"--- {label} ---")
+    print(f"  wireless loss ratio: {network.observed_loss_ratio():.2f}")
+    for name in ENTITIES:
+        intervals = trace.risky_intervals(name)
+        pretty = ", ".join(f"[{s:.1f}, {e:.1f}]" for s, e in intervals) or "(never risky)"
+        print(f"  {name:13s} risky: {pretty}")
+    print(f"  PTE verdict: {'SAFE' if report.safe else 'VIOLATED'}")
+    for violation in report.violations[:3]:
+        print(f"    {violation}")
+    print()
+
+
+def main() -> None:
+    print("Four-entity furnace interlock under bursty 90% loss\n")
+    run_variant(with_lease=True)
+    run_variant(with_lease=False)
+    print("The lease design preserves the PTE order under the same bursty loss trace "
+          "that breaks the no-lease baseline.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools entry point.
+
+The pyproject.toml carries the full project metadata; this file exists so
+that editable installs (``pip install -e .``) keep working on environments
+whose setuptools lacks PEP 660 support (no ``wheel`` package available).
+"""
+
+from setuptools import setup
+
+setup()

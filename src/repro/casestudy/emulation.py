@@ -1,0 +1,316 @@
+"""Emulation harness for the laser-tracheotomy case study (Table I).
+
+This module assembles the whole wireless CPS -- supervisor, ventilator,
+laser-scalpel, patient physiology, surgeon behaviour and the interfered
+wireless network -- and runs timed trials, collecting exactly the
+statistics reported in the paper's Table I:
+
+* number of laser emissions,
+* number of PTE safety-rule violations (failures),
+* number of ``evtToStop`` events (lease expirations forcing the laser to
+  stop emitting),
+
+plus a set of auxiliary measurements (maximum pause / emission durations,
+observed packet loss, supervisor aborts, lease ledger) used by the other
+experiments and by the documentation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from repro.casestudy.config import (CaseStudyConfig, LASER, PATIENT, SUPERVISOR,
+                                    VENTILATOR)
+from repro.casestudy.laser import EMITTING_LOCATION, LASER_INDEX, build_laser
+from repro.casestudy.patient import SPO2, VENTILATED, build_patient
+from repro.casestudy.supervisor import SUPERVISOR_SPO2, build_tracheotomy_supervisor
+from repro.casestudy.surgeon import SurgeonProcess
+from repro.casestudy.ventilator import build_ventilator, ventilating_locations
+from repro.core.leases import LeaseLedger, LeaseOutcome
+from repro.core.monitor import MonitorReport, PTEMonitor
+from repro.core.pattern.roles import RISKY_CORE, qualified
+from repro.core.rules import PTERuleSet
+from repro.hybrid.simulate.engine import SimulationEngine
+from repro.hybrid.simulate.processes import (Coupling, EnvironmentProcess,
+                                             LocationIndicatorCoupling,
+                                             VariableCopyCoupling)
+from repro.hybrid.system import HybridSystem
+from repro.hybrid.trace import Trace
+from repro.wireless.channel import Channel
+from repro.wireless.network import SinkWirelessNetwork
+
+#: Location in which the ventilator is paused and "running" its risky core.
+VENTILATOR_RISKY_CORE = qualified("xi1", RISKY_CORE)
+
+
+@dataclass
+class CaseStudySystem:
+    """Everything needed to run one laser-tracheotomy trial."""
+
+    system: HybridSystem
+    network: SinkWirelessNetwork
+    surgeon: SurgeonProcess
+    couplings: List[Coupling]
+    rules: PTERuleSet
+    config: CaseStudyConfig
+    with_lease: bool
+    extra_processes: List[EnvironmentProcess] = field(default_factory=list)
+
+    def engine(self, *, seed: int | None = None,
+               record_variables: Sequence[tuple[str, str]] = (),
+               sample_interval: float = 0.5) -> SimulationEngine:
+        """Build a simulation engine for one trial with the given seed."""
+        return SimulationEngine(
+            self.system,
+            network=self.network,
+            processes=[self.surgeon, *self.extra_processes],
+            couplings=self.couplings,
+            seed=seed,
+            dt_max=self.config.dt_max,
+            record_variables=record_variables,
+            sample_interval=sample_interval)
+
+
+def build_case_study(config: CaseStudyConfig, *, with_lease: bool = True,
+                     seed: int | None = None,
+                     channel: Channel | None = None,
+                     surgeon: SurgeonProcess | None = None,
+                     extra_processes: Sequence[EnvironmentProcess] = ()) -> CaseStudySystem:
+    """Assemble the laser-tracheotomy wireless CPS.
+
+    Args:
+        config: Case-study configuration (paper defaults).
+        with_lease: False removes the lease-expiry edges from the ventilator
+            and the laser-scalpel, producing the Table I baseline.
+        seed: Seed for the surgeon model (channels are re-seeded per trial
+            by the engine through the network's :meth:`reset`).
+        channel: Wireless loss model; defaults to the burst-loss channel
+            calibrated from ``config.interference``.
+        surgeon: Optional replacement surgeon process (e.g. a
+            :class:`~repro.casestudy.surgeon.ScriptedSurgeon` for scenario
+            experiments).
+        extra_processes: Additional environment processes (fault scripts).
+
+    Returns:
+        A :class:`CaseStudySystem` ready to produce simulation engines.
+    """
+    pattern_config = config.pattern_with_resends()
+    supervisor = build_tracheotomy_supervisor(pattern_config, config.patient,
+                                              name=SUPERVISOR)
+    ventilator = build_ventilator(pattern_config, name=VENTILATOR,
+                                  lease_enabled=with_lease)
+    laser = build_laser(pattern_config, name=LASER, lease_enabled=with_lease)
+    patient = build_patient(config.patient, name=PATIENT)
+
+    system = HybridSystem("laser-tracheotomy-cps")
+    system.add(supervisor, entity=SUPERVISOR)
+    system.add(ventilator, entity=VENTILATOR)
+    system.add(laser, entity=LASER)
+    system.add(patient, entity=PATIENT)
+
+    network = SinkWirelessNetwork(
+        base_station=SUPERVISOR,
+        remote_entities=[VENTILATOR, LASER],
+        default_channel=channel or config.interference.to_channel(seed))
+
+    couplings: List[Coupling] = [
+        # Physical coupling: the patient is ventilated exactly while the
+        # ventilator automaton dwells in its pumping locations.
+        LocationIndicatorCoupling(
+            source_automaton=VENTILATOR,
+            source_locations=ventilating_locations(ventilator),
+            target_automaton=PATIENT, target_variable=VENTILATED),
+        # Wired oximeter: the supervisor reads the patient's SpO2 directly.
+        VariableCopyCoupling(
+            source_automaton=PATIENT, source_variable=SPO2,
+            target_automaton=SUPERVISOR, target_variable=SUPERVISOR_SPO2),
+    ]
+    surgeon_process = surgeon or SurgeonProcess(
+        config.surgeon, laser_name=LASER, initializer_index=LASER_INDEX, seed=seed)
+    return CaseStudySystem(
+        system=system, network=network, surgeon=surgeon_process,
+        couplings=couplings, rules=config.rules(), config=config,
+        with_lease=with_lease, extra_processes=list(extra_processes))
+
+
+@dataclass
+class TrialResult:
+    """Statistics of one emulation trial (one row's worth of Table I data)."""
+
+    with_lease: bool
+    mean_toff: float
+    duration: float
+    seed: int | None
+    laser_emissions: int
+    failures: int
+    evt_to_stop: int
+    ventilator_pauses: int
+    max_emission_duration: float
+    max_pause_duration: float
+    min_spo2: float
+    supervisor_aborts: int
+    surgeon_requests: int
+    surgeon_cancels: int
+    observed_loss_ratio: float
+    monitor: MonitorReport = field(repr=False, default=None)
+    ledger: LeaseLedger = field(repr=False, default=None)
+    trace: Trace | None = field(repr=False, default=None)
+
+    @property
+    def mode(self) -> str:
+        """``"with Lease"`` or ``"without Lease"`` (Table I's Trial Mode)."""
+        return "with Lease" if self.with_lease else "without Lease"
+
+    def table_row(self) -> tuple:
+        """The row of Table I this trial contributes."""
+        return (self.mode, self.mean_toff, self.laser_emissions,
+                self.failures, self.evt_to_stop)
+
+
+def lease_ledger_from_trace(trace: Trace, config: CaseStudyConfig) -> LeaseLedger:
+    """Reconstruct the lease ledger of one trial from its trace.
+
+    A lease opens when an entity enters its "Risky Core" and closes when it
+    leaves it; the closing transition's reason tells whether the lease
+    expired, was aborted, or was released cooperatively.
+    """
+    ledger = LeaseLedger()
+    contracts = {
+        VENTILATOR: config.pattern.timing(1).t_run_max,
+        LASER: config.pattern.timing(2).t_run_max,
+    }
+    risky_core = {VENTILATOR: VENTILATOR_RISKY_CORE, LASER: EMITTING_LOCATION}
+    outcome_of_reason = {
+        "lease_expiry": LeaseOutcome.EXPIRED,
+        "abort": LeaseOutcome.ABORTED,
+        "cancel": LeaseOutcome.COMPLETED,
+        "user_cancel": LeaseOutcome.COMPLETED,
+    }
+    for entity, core_location in risky_core.items():
+        for record in trace.transitions_of(entity):
+            if record.target == core_location:
+                ledger.open(entity, record.time, contracts[entity])
+            elif record.source == core_location:
+                outcome = outcome_of_reason.get(record.reason, LeaseOutcome.COMPLETED)
+                ledger.close(entity, outcome, record.time)
+    return ledger
+
+
+def run_trial(config: CaseStudyConfig, *, with_lease: bool = True,
+              seed: int | None = 0, duration: float | None = None,
+              channel: Channel | None = None,
+              surgeon: SurgeonProcess | None = None,
+              extra_processes: Sequence[EnvironmentProcess] = (),
+              keep_trace: bool = False,
+              record_variables: Sequence[tuple[str, str]] = ()) -> TrialResult:
+    """Run one emulation trial and collect the Table I statistics.
+
+    Args:
+        config: Case-study configuration.
+        with_lease: Trial mode (Table I's first column).
+        seed: Master seed for every stochastic component of the trial.
+        duration: Trial length; defaults to ``config.trial_duration`` (30 min).
+        channel: Optional wireless loss model override.
+        surgeon: Optional surgeon process override.
+        extra_processes: Additional environment processes.
+        keep_trace: Keep the full trace on the result (memory heavy).
+        record_variables: ``(automaton, variable)`` pairs to sample.
+
+    Returns:
+        The trial's :class:`TrialResult`.
+    """
+    duration = config.trial_duration if duration is None else float(duration)
+    case = build_case_study(config, with_lease=with_lease, seed=seed,
+                            channel=channel, surgeon=surgeon,
+                            extra_processes=extra_processes)
+    sampled = list(record_variables) or [(PATIENT, SPO2)]
+    engine = case.engine(seed=seed, record_variables=sampled)
+    trace = engine.run(duration)
+
+    monitor = PTEMonitor(case.rules)
+    report = monitor.check(trace)
+    ledger = lease_ledger_from_trace(trace, config)
+
+    emissions = trace.count_entries(LASER, EMITTING_LOCATION)
+    pauses = trace.count_entries(VENTILATOR, VENTILATOR_RISKY_CORE)
+    evt_to_stop = len(trace.transitions_of(LASER, reason="lease_expiry",
+                                           source=EMITTING_LOCATION))
+    emission_intervals = trace.dwell_intervals(LASER, {EMITTING_LOCATION})
+    pause_intervals = trace.risky_intervals(VENTILATOR)
+    spo2_times, spo2_values = trace.series(PATIENT, SPO2)
+    aborts = len([r for r in trace.transitions_of(SUPERVISOR)
+                  if r.reason == "approval_violated"])
+    surgeon_process = case.surgeon
+
+    return TrialResult(
+        with_lease=with_lease,
+        mean_toff=config.surgeon.mean_toff,
+        duration=duration,
+        seed=seed,
+        laser_emissions=emissions,
+        failures=report.failure_count,
+        evt_to_stop=evt_to_stop,
+        ventilator_pauses=pauses,
+        max_emission_duration=max((e - s for s, e in emission_intervals), default=0.0),
+        max_pause_duration=max((e - s for s, e in pause_intervals), default=0.0),
+        min_spo2=min(spo2_values, default=config.patient.initial_spo2),
+        supervisor_aborts=aborts,
+        surgeon_requests=getattr(surgeon_process, "requests_issued", 0),
+        surgeon_cancels=getattr(surgeon_process, "cancels_issued", 0),
+        observed_loss_ratio=case.network.observed_loss_ratio(),
+        monitor=report,
+        ledger=ledger,
+        trace=trace if keep_trace else None,
+    )
+
+
+def run_table1_trials(config: CaseStudyConfig | None = None, *,
+                      mean_toffs: Sequence[float] = (18.0, 6.0),
+                      seed: int = 2013,
+                      duration: float | None = None) -> List[TrialResult]:
+    """Run the four trials of Table I (with/without lease x E(Toff) values).
+
+    Args:
+        config: Base case-study configuration (paper defaults when omitted).
+        mean_toffs: Surgeon E(Toff) values, one pair of trials per value.
+        seed: Master seed; each trial derives its own sub-seed.
+        duration: Optional trial-length override (the paper uses 30 minutes).
+
+    Returns:
+        Trial results ordered exactly like the rows of Table I.
+    """
+    base = config or CaseStudyConfig()
+    results: List[TrialResult] = []
+    for toff_index, mean_toff in enumerate(mean_toffs):
+        for mode_index, with_lease in enumerate((True, False)):
+            trial_seed = seed + 101 * toff_index + 13 * mode_index
+            trial_config = base.with_mean_toff(mean_toff)
+            results.append(run_trial(trial_config, with_lease=with_lease,
+                                     seed=trial_seed, duration=duration))
+    # Order rows like the paper: grouped by E(Toff), lease first.
+    ordered: List[TrialResult] = []
+    for toff_index in range(len(mean_toffs)):
+        ordered.append(results[2 * toff_index])
+        ordered.append(results[2 * toff_index + 1])
+    return ordered
+
+
+def summarize_trials(results: Sequence[TrialResult]) -> Dict[str, object]:
+    """Aggregate check of the Table I reproduction shape.
+
+    Returns a dictionary with the headline claims: every with-lease trial
+    must be failure-free, and the without-lease trials should exhibit
+    failures (given enough interference).
+    """
+    with_lease = [r for r in results if r.with_lease]
+    without_lease = [r for r in results if not r.with_lease]
+    return {
+        "with_lease_failures": sum(r.failures for r in with_lease),
+        "without_lease_failures": sum(r.failures for r in without_lease),
+        "with_lease_emissions": sum(r.laser_emissions for r in with_lease),
+        "without_lease_emissions": sum(r.laser_emissions for r in without_lease),
+        "with_lease_evt_to_stop": sum(r.evt_to_stop for r in with_lease),
+        "lease_always_safe": all(r.failures == 0 for r in with_lease),
+        "baseline_fails": any(r.failures > 0 for r in without_lease),
+    }

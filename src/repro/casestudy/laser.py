@@ -1,0 +1,44 @@
+"""The (surgeon-operated) laser-scalpel: the case study's Initializer.
+
+The paper notes that the Initializer design-pattern automaton ``A_initzr``
+can be used directly as the laser-scalpel design -- no elaboration needed
+(Section V).  This module simply instantiates it with the case study's
+names and exposes the location names the rest of the case study refers to
+(which location means "emitting", etc.).
+"""
+
+from __future__ import annotations
+
+from repro.casestudy.config import LASER
+from repro.core.configuration import PatternConfiguration
+from repro.core.pattern.initializer import build_initializer
+from repro.core.pattern.roles import FALL_BACK, RISKY_CORE, qualified
+from repro.hybrid.automaton import HybridAutomaton
+
+#: PTE index of the laser-scalpel in the case study (the Initializer, xi_2).
+LASER_INDEX = 2
+
+#: Entity identifier used to namespace the laser automaton's locations.
+LASER_ENTITY_ID = f"xi{LASER_INDEX}"
+
+#: Location in which the laser-scalpel actually emits laser.
+EMITTING_LOCATION = qualified(LASER_ENTITY_ID, RISKY_CORE)
+
+#: Location in which the laser-scalpel idles.
+SHUTOFF_LOCATION = qualified(LASER_ENTITY_ID, FALL_BACK)
+
+
+def build_laser(config: PatternConfiguration, *, name: str = LASER,
+                lease_enabled: bool = True) -> HybridAutomaton:
+    """Build the laser-scalpel automaton (Initializer ``xi_2``).
+
+    Args:
+        config: Lease-pattern configuration (paper values for the case study).
+        name: Automaton name (also the wireless entity name).
+        lease_enabled: False builds the no-lease baseline variant in which
+            the laser keeps emitting until explicitly stopped.
+    """
+    laser = build_initializer(config, entity_id=LASER_ENTITY_ID, name=name,
+                              lease_enabled=lease_enabled)
+    laser.metadata["entity_index"] = LASER_INDEX
+    return laser

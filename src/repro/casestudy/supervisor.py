@@ -1,0 +1,42 @@
+"""The laser-tracheotomy supervisor (base station, entity ``xi_0``).
+
+The supervisor is the Supervisor design-pattern automaton instantiated with
+the case study's ``ApprovalCondition``: the wired oximeter reading must
+exceed the ``theta_SpO2`` threshold (92 % in the paper).  The oximeter
+value lives in the supervisor automaton's own ``spo2_xi0`` variable, which
+is written every integration step by a wired-sensor coupling from the
+patient model -- it never crosses the lossy wireless network.
+"""
+
+from __future__ import annotations
+
+from repro.casestudy.config import SUPERVISOR, PatientModel
+from repro.core.configuration import PatternConfiguration
+from repro.core.pattern.supervisor import build_supervisor
+from repro.hybrid.automaton import HybridAutomaton
+from repro.hybrid.expressions import var_gt
+
+#: Name of the supervisor-side oximeter reading variable.
+SUPERVISOR_SPO2 = "spo2_xi0"
+
+
+def build_tracheotomy_supervisor(config: PatternConfiguration,
+                                 patient_model: PatientModel, *,
+                                 name: str = SUPERVISOR,
+                                 use_abort_on_violation: bool = True) -> HybridAutomaton:
+    """Build the laser-tracheotomy supervisor automaton.
+
+    Args:
+        config: Lease-pattern configuration.
+        patient_model: Supplies the initial oximeter reading and the
+            ``theta_SpO2`` approval threshold.
+        name: Automaton name (also the base-station entity name).
+        use_abort_on_violation: Forwarded to the pattern builder; False
+            disables mid-round aborts (used only by ablation experiments).
+    """
+    approval_condition = var_gt(SUPERVISOR_SPO2, patient_model.spo2_threshold)
+    return build_supervisor(
+        config, entity_id="xi0", name=name,
+        approval_condition=approval_condition,
+        extra_variables={SUPERVISOR_SPO2: patient_model.initial_spo2},
+        use_abort_on_violation=use_abort_on_violation)

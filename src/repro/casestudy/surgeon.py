@@ -1,0 +1,151 @@
+"""Surgeon behaviour model.
+
+The paper's emulation replaces the surgeon's free will with two exponential
+timers (Section V):
+
+* ``Ton`` -- armed whenever the laser-scalpel dwells in "Fall-Back"; when it
+  fires, the (emulated) surgeon asks the supervisor for permission to emit
+  (our local ``cmd_initiate`` event).  The timer is destroyed whenever the
+  laser-scalpel leaves "Fall-Back".
+* ``Toff`` -- armed whenever the laser-scalpel is emitting (dwells in
+  "Risky Core"); when it fires, the surgeon cancels the emission (our local
+  ``cmd_cancel`` event).  The timer is destroyed whenever the laser-scalpel
+  returns to "Fall-Back".
+
+The surgeon is an :class:`~repro.hybrid.simulate.processes.EnvironmentProcess`:
+it observes the laser automaton's transitions, keeps its timers, and injects
+the command events locally (they are never carried over the wireless
+network, hence never lost).
+"""
+
+from __future__ import annotations
+
+from repro.casestudy.config import SurgeonModel
+from repro.core.pattern import events
+from repro.core.pattern.roles import FALL_BACK, RISKY_CORE, qualified
+from repro.hybrid.simulate.engine import SimulationEngine
+from repro.hybrid.simulate.processes import EnvironmentProcess
+from repro.hybrid.trace import TransitionRecord
+from repro.util.seeding import spawn_rng
+
+
+class SurgeonProcess(EnvironmentProcess):
+    """Stochastic surgeon driving the laser-scalpel Initializer.
+
+    Args:
+        model: Expectations of the ``Ton``/``Toff`` exponential timers.
+        laser_name: Automaton name of the laser-scalpel.
+        initializer_index: PTE index of the Initializer (``N``), used to
+            derive the command event roots and the namespaced location names.
+        seed: RNG seed (independent of every other stochastic component).
+    """
+
+    name = "surgeon"
+
+    def __init__(self, model: SurgeonModel, *, laser_name: str,
+                 initializer_index: int = 2, entity_id: str | None = None,
+                 seed: int | None = None):
+        self.model = model
+        self.laser_name = laser_name
+        self.initializer_index = initializer_index
+        entity_id = entity_id or f"xi{initializer_index}"
+        self._fallback_location = qualified(entity_id, FALL_BACK)
+        self._emitting_location = qualified(entity_id, RISKY_CORE)
+        self._cmd_request = events.command_request(initializer_index)
+        self._cmd_cancel = events.command_cancel(initializer_index)
+        self._rng = spawn_rng(seed, "surgeon")
+        self._ton_at: float | None = None
+        self._toff_at: float | None = None
+        self.requests_issued = 0
+        self.cancels_issued = 0
+
+    # -- timer management ----------------------------------------------------------
+    def _arm_ton(self, now: float) -> None:
+        self._ton_at = now + self._rng.expovariate(1.0 / self.model.mean_ton)
+
+    def _arm_toff(self, now: float) -> None:
+        self._toff_at = now + self._rng.expovariate(1.0 / self.model.mean_toff)
+
+    def initialize(self, engine: SimulationEngine) -> None:
+        self._ton_at = None
+        self._toff_at = None
+        self.requests_issued = 0
+        self.cancels_issued = 0
+        if engine.location_of(self.laser_name) == self._fallback_location:
+            self._arm_ton(engine.now)
+
+    def notify_transition(self, engine: SimulationEngine,
+                          record: TransitionRecord) -> None:
+        if record.automaton != self.laser_name:
+            return
+        if record.target == self._fallback_location:
+            # Back in Fall-Back: Toff is destroyed, Ton is (re-)armed.
+            self._toff_at = None
+            self._arm_ton(record.time)
+        elif record.source == self._fallback_location:
+            # Leaving Fall-Back destroys the pending Ton timer.
+            self._ton_at = None
+        if record.target == self._emitting_location:
+            # Emission started: arm Toff.
+            self._arm_toff(record.time)
+
+    def next_wakeup(self, now: float) -> float | None:
+        candidates = [t for t in (self._ton_at, self._toff_at) if t is not None]
+        return min(candidates) if candidates else None
+
+    def wake(self, engine: SimulationEngine, now: float) -> None:
+        if self._ton_at is not None and now >= self._ton_at - 1e-9:
+            self._ton_at = None
+            if engine.location_of(self.laser_name) == self._fallback_location:
+                self.requests_issued += 1
+                engine.inject_event(self._cmd_request, sender=self.name)
+            else:  # pragma: no cover - defensive: timer should have been destroyed
+                pass
+        if self._toff_at is not None and now >= self._toff_at - 1e-9:
+            self._toff_at = None
+            if engine.location_of(self.laser_name) == self._emitting_location:
+                self.cancels_issued += 1
+                engine.inject_event(self._cmd_cancel, sender=self.name)
+
+
+class ScriptedSurgeon(EnvironmentProcess):
+    """Deterministic surgeon used by scenario experiments and tests.
+
+    Args:
+        requests_at: Times at which the surgeon asks for an emission.
+        cancels_at: Times at which the surgeon cancels.
+        initializer_index: PTE index of the Initializer.
+    """
+
+    name = "scripted-surgeon"
+
+    def __init__(self, *, requests_at: list[float] = (), cancels_at: list[float] = (),
+                 initializer_index: int = 2):
+        self._cmd_request = events.command_request(initializer_index)
+        self._cmd_cancel = events.command_cancel(initializer_index)
+        actions = [(float(t), self._cmd_request) for t in requests_at]
+        actions += [(float(t), self._cmd_cancel) for t in cancels_at]
+        self._actions = sorted(actions, key=lambda item: item[0])
+        self._index = 0
+        self.requests_issued = 0
+        self.cancels_issued = 0
+
+    def initialize(self, engine: SimulationEngine) -> None:
+        self._index = 0
+        self.requests_issued = 0
+        self.cancels_issued = 0
+
+    def next_wakeup(self, now: float) -> float | None:
+        if self._index >= len(self._actions):
+            return None
+        return self._actions[self._index][0]
+
+    def wake(self, engine: SimulationEngine, now: float) -> None:
+        while self._index < len(self._actions) and self._actions[self._index][0] <= now + 1e-9:
+            _, root = self._actions[self._index]
+            self._index += 1
+            if root == self._cmd_request:
+                self.requests_issued += 1
+            else:
+                self.cancels_issued += 1
+            engine.inject_event(root, sender=self.name)

@@ -1,0 +1,129 @@
+"""The ventilator: stand-alone automaton (Fig. 2) and its PTE-safe design.
+
+Two constructions are provided:
+
+* :func:`build_standalone_ventilator` -- the simple hybrid automaton
+  ``A'_vent`` of Fig. 2: the cylinder moves down at 0.1 m/s in "PumpOut",
+  up at 0.1 m/s in "PumpIn", bouncing between 0 and 0.3 m, broadcasting an
+  (internal) event at each turnaround.  This automaton is *simple* in the
+  sense of Definition 3 and independent from the Participant pattern, so it
+  can be used as an elaboration child.
+* :func:`build_ventilator` -- the PTE-safe ventilator of the case study:
+  the Participant design pattern ``A_ptcpnt,1`` elaborated at "Fall-Back"
+  with ``A'_vent`` (Section V).  While leased (paused), the cylinder height
+  freezes, exactly as the elaboration rule prescribes for child variables
+  outside the child automaton.
+"""
+
+from __future__ import annotations
+
+from repro.casestudy.config import VENTILATOR
+from repro.core.configuration import PatternConfiguration
+from repro.core.pattern.participant import build_participant
+from repro.core.pattern.roles import FALL_BACK, qualified
+from repro.hybrid.automaton import HybridAutomaton
+from repro.hybrid.edges import Edge
+from repro.hybrid.elaboration import elaborate
+from repro.hybrid.expressions import BoxPredicate, Predicate, TRUE, var_ge, var_le
+from repro.hybrid.flows import ConstantFlow
+from repro.hybrid.locations import Location
+
+#: Name of the cylinder-height data state variable (meters).
+CYLINDER_HEIGHT = "h_vent"
+
+#: Cylinder stroke of the paper's ventilator (meters).
+CYLINDER_TOP = 0.3
+
+#: Cylinder speed of the paper's ventilator (meters per second).
+CYLINDER_SPEED = 0.1
+
+#: Locations of the stand-alone ventilator in which it actively ventilates.
+VENTILATING_LOCATIONS = frozenset({"PumpOut", "PumpIn"})
+
+#: Internal events broadcast at the cylinder turnarounds (Fig. 2).
+EVT_PUMP_IN = "evt_vent_pump_in"
+EVT_PUMP_OUT = "evt_vent_pump_out"
+
+
+def build_standalone_ventilator(*, initial_height: float = CYLINDER_TOP,
+                                name: str = "standalone_ventilator") -> HybridAutomaton:
+    """Build ``A'_vent``, the stand-alone ventilator of Fig. 2.
+
+    Args:
+        initial_height: Initial cylinder height ``H_vent(0)`` in ``[0, 0.3]``.
+        name: Automaton name.
+
+    Returns:
+        A simple hybrid automaton with locations "PumpOut" (initial) and
+        "PumpIn".
+    """
+    if not 0.0 <= initial_height <= CYLINDER_TOP:
+        raise ValueError(f"initial cylinder height must lie in [0, {CYLINDER_TOP}]")
+    invariant = BoxPredicate(CYLINDER_HEIGHT, 0.0, CYLINDER_TOP)
+    automaton = HybridAutomaton(
+        name,
+        variables=[CYLINDER_HEIGHT],
+        initial_valuation={CYLINDER_HEIGHT: initial_height},
+        metadata={"figure": "Fig. 2", "description": "stand-alone ventilator"},
+    )
+    automaton.add_location(Location(
+        name="PumpOut", invariant=invariant,
+        flow=ConstantFlow({CYLINDER_HEIGHT: -CYLINDER_SPEED})))
+    automaton.add_location(Location(
+        name="PumpIn", invariant=invariant,
+        flow=ConstantFlow({CYLINDER_HEIGHT: +CYLINDER_SPEED})))
+    automaton.initial_location = "PumpOut"
+    automaton.add_edge(Edge("PumpOut", "PumpIn",
+                            guard=var_le(CYLINDER_HEIGHT, 0.0),
+                            emits=[EVT_PUMP_IN], reason="cylinder_bottom"))
+    automaton.add_edge(Edge("PumpIn", "PumpOut",
+                            guard=var_ge(CYLINDER_HEIGHT, CYLINDER_TOP),
+                            emits=[EVT_PUMP_OUT], reason="cylinder_top"))
+    automaton.validate()
+    return automaton
+
+
+def build_ventilator(config: PatternConfiguration, *,
+                     name: str = VENTILATOR,
+                     participation_condition: Predicate = TRUE,
+                     lease_enabled: bool = True,
+                     initial_height: float = CYLINDER_TOP) -> HybridAutomaton:
+    """Build the case study's PTE-safe ventilator (Participant xi_1 + A'_vent).
+
+    The Participant pattern automaton for entity ``xi_1`` is elaborated at
+    its "Fall-Back" location with the stand-alone ventilator, so the
+    resulting automaton ventilates (pumps the cylinder) exactly while it is
+    not leased and holds the cylinder still while paused.
+
+    Args:
+        config: Lease-pattern configuration (paper values for the case study).
+        name: Automaton name (also used as the wireless entity name).
+        participation_condition: ``ParticipationCondition`` of the ventilator.
+        lease_enabled: False builds the no-lease baseline variant.
+        initial_height: Initial cylinder height.
+
+    Returns:
+        The elaborated ventilator automaton.
+    """
+    pattern = build_participant(config, 1, entity_id="xi1", name=name,
+                                participation_condition=participation_condition,
+                                lease_enabled=lease_enabled)
+    child = build_standalone_ventilator(initial_height=initial_height,
+                                        name="standalone_ventilator")
+    ventilator = elaborate(pattern, qualified("xi1", FALL_BACK), child, name=name)
+    ventilator.metadata["role"] = pattern.metadata["role"]
+    ventilator.metadata["entity_index"] = 1
+    ventilator.metadata["lease_enabled"] = lease_enabled
+    return ventilator
+
+
+def ventilating_locations(ventilator: HybridAutomaton) -> set[str]:
+    """Locations of the (elaborated) ventilator in which it actively ventilates.
+
+    These are the locations contributed by the stand-alone child automaton
+    ("PumpOut"/"PumpIn"); everywhere else the ventilator is paused.  The
+    patient physiology coupling uses this set to decide whether the patient
+    is being ventilated.
+    """
+    return {name for name in ventilator.location_names
+            if name in VENTILATING_LOCATIONS}

@@ -1,0 +1,192 @@
+"""Design-pattern compliance checking (Theorem 2, Section IV-C).
+
+Theorem 2 states: if every member automaton of a concrete hybrid system
+elaborates its corresponding design-pattern automaton (Supervisor,
+Participant or Initializer) at distinct locations with simple, mutually
+independent child automata, and the configuration satisfies Theorem 1's
+conditions c1-c7, then the concrete system satisfies the PTE safety rules.
+
+This module checks those premises mechanically for a candidate design:
+
+* the children used at each elaborated location must be *simple*
+  (Definition 3) and independent from the pattern automaton and from each
+  other (Definition 2);
+* re-running the elaboration operator on the pattern automaton with those
+  children must reproduce the candidate automaton (same locations, same
+  edge structure), which is how we certify "A' elaborates A at v1..vk";
+* the shared configuration must pass conditions c1-c7.
+
+The result is a :class:`ComplianceReport`; when it is satisfied, Theorem 2
+applies and the candidate design inherits the PTE guarantee.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+from repro.core.configuration import PatternConfiguration
+from repro.core.constraints import check_conditions
+from repro.hybrid.automaton import HybridAutomaton
+from repro.hybrid.edges import Edge
+from repro.hybrid.elaboration import (are_mutually_independent, assert_independent,
+                                      elaborate_parallel, is_simple)
+from repro.errors import IndependenceError
+
+
+def _edge_signature(edge: Edge) -> tuple:
+    """Structural fingerprint of an edge used for design comparison."""
+    trigger = str(edge.trigger) if edge.trigger is not None else ""
+    return (edge.source, edge.target, trigger, tuple(edge.emits), edge.reason)
+
+
+def _same_structure(expected: HybridAutomaton, actual: HybridAutomaton) -> List[str]:
+    """Compare two automata structurally; return a list of differences."""
+    problems: List[str] = []
+    if expected.location_names != actual.location_names:
+        missing = expected.location_names - actual.location_names
+        extra = actual.location_names - expected.location_names
+        if missing:
+            problems.append(f"missing locations: {sorted(missing)}")
+        if extra:
+            problems.append(f"unexpected locations: {sorted(extra)}")
+    expected_risky = expected.risky_locations
+    actual_risky = actual.risky_locations
+    if expected_risky != actual_risky:
+        problems.append(
+            f"risky partition differs: expected {sorted(expected_risky)}, "
+            f"got {sorted(actual_risky)}")
+    expected_edges = Counter(_edge_signature(e) for e in expected.edges)
+    actual_edges = Counter(_edge_signature(e) for e in actual.edges)
+    if expected_edges != actual_edges:
+        missing_edges = expected_edges - actual_edges
+        extra_edges = actual_edges - expected_edges
+        if missing_edges:
+            problems.append(f"missing edges: {sorted(missing_edges)}")
+        if extra_edges:
+            problems.append(f"unexpected edges: {sorted(extra_edges)}")
+    if expected.initial_location != actual.initial_location:
+        problems.append(
+            f"initial location differs: expected {expected.initial_location!r}, "
+            f"got {actual.initial_location!r}")
+    return problems
+
+
+@dataclass(frozen=True)
+class ElaborationClaim:
+    """One member automaton's claim of elaborating a pattern automaton.
+
+    Attributes:
+        pattern: The design-pattern automaton (Supervisor / Participant /
+            Initializer instance) being elaborated.
+        locations: The distinct pattern locations that were elaborated.
+        children: The simple child automata used, one per location.
+        candidate: The concrete automaton claimed to be the elaboration.
+    """
+
+    pattern: HybridAutomaton
+    locations: tuple[str, ...]
+    children: tuple[HybridAutomaton, ...]
+    candidate: HybridAutomaton
+
+    def __init__(self, pattern: HybridAutomaton, locations: Sequence[str],
+                 children: Sequence[HybridAutomaton], candidate: HybridAutomaton):
+        object.__setattr__(self, "pattern", pattern)
+        object.__setattr__(self, "locations", tuple(locations))
+        object.__setattr__(self, "children", tuple(children))
+        object.__setattr__(self, "candidate", candidate)
+
+
+@dataclass
+class ComplianceReport:
+    """Outcome of checking Theorem 2's premises for one concrete design."""
+
+    problems: List[str] = field(default_factory=list)
+    constraint_report: object | None = None
+
+    @property
+    def compliant(self) -> bool:
+        """True when every premise of Theorem 2 holds."""
+        constraints_ok = (self.constraint_report is None
+                          or getattr(self.constraint_report, "satisfied", False))
+        return not self.problems and constraints_ok
+
+    def summary(self) -> str:
+        """Human-readable multi-line report."""
+        lines = ["Theorem 2 compliance: "
+                 + ("SATISFIED" if self.compliant else "NOT satisfied")]
+        lines.extend(f"  - {problem}" for problem in self.problems)
+        if self.constraint_report is not None and not self.constraint_report.satisfied:
+            for result in self.constraint_report.violated:
+                lines.append(f"  - Theorem 1 {result}")
+        return "\n".join(lines)
+
+
+def check_claim(claim: ElaborationClaim) -> List[str]:
+    """Check one member automaton's elaboration claim; return its problems."""
+    problems: List[str] = []
+    if len(claim.locations) != len(claim.children):
+        return ["an elaboration claim needs one child automaton per elaborated location"]
+    if len(set(claim.locations)) != len(claim.locations):
+        problems.append("elaborated locations must be distinct")
+    for location in claim.locations:
+        if location not in claim.pattern.locations:
+            problems.append(
+                f"{location!r} is not a location of pattern automaton "
+                f"{claim.pattern.name!r}")
+    for child in claim.children:
+        simple, why = is_simple(child)
+        if not simple:
+            problems.append(f"child {child.name!r} is not simple: {why}")
+        try:
+            assert_independent(claim.pattern, child)
+        except IndependenceError as exc:
+            problems.append(str(exc))
+    if not are_mutually_independent(list(claim.children)):
+        problems.append("the child automata are not mutually independent")
+    if problems:
+        return problems
+    if not claim.locations:
+        # No elaboration at all: the candidate must be structurally identical
+        # to the pattern automaton (this is the common case for Supervisor
+        # and Initializer in the case study).
+        expected = claim.pattern
+    else:
+        expected = elaborate_parallel(claim.pattern, list(claim.locations),
+                                      list(claim.children))
+    differences = _same_structure(expected, claim.candidate)
+    problems.extend(
+        f"{claim.candidate.name!r} does not elaborate {claim.pattern.name!r}: {difference}"
+        for difference in differences)
+    return problems
+
+
+def check_compliance(claims: Sequence[ElaborationClaim],
+                     config: PatternConfiguration) -> ComplianceReport:
+    """Check every premise of Theorem 2 for a concrete design.
+
+    Args:
+        claims: One :class:`ElaborationClaim` per member automaton of the
+            concrete design (Supervisor, every Participant, Initializer).
+        config: The shared configuration; checked against c1-c7.
+
+    Returns:
+        A :class:`ComplianceReport`; its :attr:`ComplianceReport.compliant`
+        flag tells whether Theorem 2 applies.
+    """
+    report = ComplianceReport(constraint_report=check_conditions(config))
+    for claim in claims:
+        report.problems.extend(check_claim(claim))
+    # Cross-claim independence (Theorem 2 condition 4): every child used
+    # anywhere in the design must be independent of every other child.
+    all_children: List[HybridAutomaton] = []
+    for claim in claims:
+        all_children.extend(claim.children)
+    for i, first in enumerate(all_children):
+        for second in all_children[i + 1:]:
+            try:
+                assert_independent(first, second)
+            except IndependenceError as exc:
+                report.problems.append(str(exc))
+    return report

@@ -1,0 +1,209 @@
+"""Theorem 1's closed-form configuration constraints (conditions c1--c7).
+
+Theorem 1 (Design Pattern Validity) states that a hybrid system following
+the Supervisor / Initializer / Participant design pattern satisfies the PTE
+safety rules under arbitrary event loss, provided its time constants
+satisfy the seven closed-form conditions below (paper Section IV-B):
+
+* **c1** every configuration time constant is positive;
+* **c2** ``T^max_LS1 := T^max_enter,1 + T^max_run,1 + T_exit,1 > N * T^max_wait``;
+* **c3** ``(N-1) T^max_wait < T^max_req,N < T^max_LS1``;
+* **c4** for every ``i``:
+  ``(i-1) T^max_wait + T^max_enter,i + T^max_run,i + T_exit,i <= T^max_LS1``;
+* **c5** for every ``i < N``:
+  ``T^max_enter,i + T^min_risky:i->i+1 < T^max_enter,i+1``;
+* **c6** for every ``i < N``:
+  ``T^max_enter,i + T^max_run,i >
+  T^max_wait + T^max_enter,i+1 + T^max_run,i+1 + T_exit,i+1``;
+* **c7** for every ``i < N``: ``T_exit,i > T^min_safe:i+1->i``.
+
+The module checks each condition individually, produces a readable report
+and can raise :class:`~repro.errors.ConstraintViolation` for the first
+failing condition.  It also exposes the guaranteed dwelling bound
+``T^max_wait + T^max_LS1`` of Theorem 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List
+
+from repro.core.configuration import PatternConfiguration
+from repro.errors import ConstraintViolation
+
+
+@dataclass(frozen=True)
+class ConditionResult:
+    """Outcome of evaluating one of the conditions c1--c7."""
+
+    name: str
+    satisfied: bool
+    detail: str
+
+    def __str__(self) -> str:
+        mark = "OK " if self.satisfied else "VIOLATED"
+        return f"{self.name}: {mark} ({self.detail})"
+
+
+@dataclass(frozen=True)
+class ConstraintReport:
+    """Results of evaluating all of Theorem 1's conditions."""
+
+    results: tuple[ConditionResult, ...]
+
+    @property
+    def satisfied(self) -> bool:
+        """True when every condition holds."""
+        return all(result.satisfied for result in self.results)
+
+    @property
+    def violated(self) -> List[ConditionResult]:
+        """The failing conditions (empty when the configuration is valid)."""
+        return [result for result in self.results if not result.satisfied]
+
+    def result(self, name: str) -> ConditionResult:
+        """The result of one named condition (e.g. ``"c5"``)."""
+        for candidate in self.results:
+            if candidate.name == name:
+                return candidate
+        raise KeyError(name)
+
+    def summary(self) -> str:
+        """Multi-line human-readable report."""
+        return "\n".join(str(result) for result in self.results)
+
+
+def condition_c1(config: PatternConfiguration) -> ConditionResult:
+    """c1: every configuration time constant is positive."""
+    values = {
+        "T_wait_max": config.t_wait_max,
+        "T_fb_min": config.t_fallback_min,
+        "T_LS1_max": config.t_ls1_max,
+        "T_req_max": config.t_req_max,
+    }
+    for i, timing in enumerate(config.entity_timing, start=1):
+        values[f"T_enter_max[{i}]"] = timing.t_enter_max
+        values[f"T_run_max[{i}]"] = timing.t_run_max
+        values[f"T_exit[{i}]"] = timing.t_exit
+    offenders = [name for name, value in values.items() if value <= 0]
+    if offenders:
+        return ConditionResult("c1", False,
+                               f"non-positive constants: {', '.join(offenders)}")
+    return ConditionResult("c1", True, "all configuration time constants are positive")
+
+
+def condition_c2(config: PatternConfiguration) -> ConditionResult:
+    """c2: ``T^max_LS1 > N * T^max_wait``."""
+    lhs = config.t_ls1_max
+    rhs = config.n_entities * config.t_wait_max
+    detail = f"T_LS1_max={lhs:g} vs N*T_wait_max={rhs:g}"
+    return ConditionResult("c2", lhs > rhs, detail)
+
+
+def condition_c3(config: PatternConfiguration) -> ConditionResult:
+    """c3: ``(N-1) T^max_wait < T^max_req,N < T^max_LS1``."""
+    lower = (config.n_entities - 1) * config.t_wait_max
+    upper = config.t_ls1_max
+    value = config.t_req_max
+    detail = f"(N-1)*T_wait_max={lower:g} < T_req_max={value:g} < T_LS1_max={upper:g}"
+    return ConditionResult("c3", lower < value < upper, detail)
+
+
+def condition_c4(config: PatternConfiguration) -> ConditionResult:
+    """c4: staggered round trips all fit inside ``T^max_LS1``."""
+    t_ls1 = config.t_ls1_max
+    for i in range(1, config.n_entities + 1):
+        timing = config.timing(i)
+        lhs = (i - 1) * config.t_wait_max + timing.total
+        if lhs > t_ls1 + 1e-12:
+            return ConditionResult(
+                "c4", False,
+                f"entity {i}: (i-1)*T_wait_max + round trip = {lhs:g} exceeds "
+                f"T_LS1_max = {t_ls1:g}")
+    return ConditionResult("c4", True,
+                           f"every staggered round trip fits in T_LS1_max = {t_ls1:g}")
+
+
+def condition_c5(config: PatternConfiguration) -> ConditionResult:
+    """c5: enter-phase dwell grows fast enough to create the enter safeguard."""
+    for i in range(1, config.n_entities):
+        lhs = config.timing(i).t_enter_max + config.enter_safeguard(i)
+        rhs = config.timing(i + 1).t_enter_max
+        if not lhs < rhs:
+            return ConditionResult(
+                "c5", False,
+                f"pair ({i},{i + 1}): T_enter_max[{i}] + T_min_risky = {lhs:g} "
+                f"is not < T_enter_max[{i + 1}] = {rhs:g}")
+    return ConditionResult("c5", True,
+                           "enter-phase dwell increases by more than each enter safeguard")
+
+
+def condition_c6(config: PatternConfiguration) -> ConditionResult:
+    """c6: each entity's natural lease outlasts its successor's whole round."""
+    for i in range(1, config.n_entities):
+        inner = config.timing(i)
+        outer = config.timing(i + 1)
+        lhs = inner.t_enter_max + inner.t_run_max
+        rhs = config.t_wait_max + outer.total
+        if not lhs > rhs:
+            return ConditionResult(
+                "c6", False,
+                f"pair ({i},{i + 1}): T_enter_max[{i}] + T_run_max[{i}] = {lhs:g} "
+                f"is not > T_wait_max + round trip of {i + 1} = {rhs:g}")
+    return ConditionResult("c6", True,
+                           "each lease outlasts the successor's worst-case round trip")
+
+
+def condition_c7(config: PatternConfiguration) -> ConditionResult:
+    """c7: the exit dwell of each inner entity exceeds the exit safeguard."""
+    for i in range(1, config.n_entities):
+        lhs = config.timing(i).t_exit
+        rhs = config.exit_safeguard(i)
+        if not lhs > rhs:
+            return ConditionResult(
+                "c7", False,
+                f"pair ({i},{i + 1}): T_exit[{i}] = {lhs:g} is not > "
+                f"T_min_safe = {rhs:g}")
+    return ConditionResult("c7", True,
+                           "every exit dwell exceeds the corresponding exit safeguard")
+
+
+_CONDITIONS: tuple[Callable[[PatternConfiguration], ConditionResult], ...] = (
+    condition_c1, condition_c2, condition_c3, condition_c4,
+    condition_c5, condition_c6, condition_c7,
+)
+
+
+def check_conditions(config: PatternConfiguration) -> ConstraintReport:
+    """Evaluate all of Theorem 1's conditions c1--c7 on ``config``."""
+    return ConstraintReport(tuple(check(config) for check in _CONDITIONS))
+
+
+def assert_valid(config: PatternConfiguration) -> None:
+    """Raise :class:`ConstraintViolation` for the first failing condition."""
+    report = check_conditions(config)
+    for result in report.results:
+        if not result.satisfied:
+            raise ConstraintViolation(result.name, result.detail)
+
+
+def guaranteed_dwelling_bound(config: PatternConfiguration) -> float:
+    """Theorem 1's bound on continuous risky dwelling: ``T^max_wait + T^max_LS1``."""
+    return config.dwelling_bound
+
+
+def theoretical_guarantees(config: PatternConfiguration) -> dict[str, float]:
+    """Closed-form guarantees implied by Theorem 1 for a valid configuration.
+
+    Returns a mapping with the Rule 1 dwelling bound and, for each
+    consecutive pair, the guaranteed enter and exit safeguard margins
+    implied by conditions c5 and c7 (useful for comparing against margins
+    measured from traces).
+    """
+    guarantees: dict[str, float] = {"dwelling_bound": config.dwelling_bound}
+    for i in range(1, config.n_entities):
+        enter_margin = config.timing(i + 1).t_enter_max - config.timing(i).t_enter_max
+        exit_margin = config.timing(i).t_exit
+        guarantees[f"enter_margin[{i}->{i + 1}]"] = enter_margin
+        guarantees[f"exit_margin[{i + 1}->{i}]"] = exit_margin
+    return guarantees

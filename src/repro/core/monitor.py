@@ -1,0 +1,264 @@
+"""Trace monitor for the PTE safety rules.
+
+Given a recorded :class:`~repro.hybrid.trace.Trace` and a
+:class:`~repro.core.rules.PTERuleSet`, the monitor decides whether the
+execution satisfied both PTE safety rules, reports every violation with the
+measured and required quantities, and extracts the embedding measurements
+(the ``t1``--``t4`` quantities of the paper's Fig. 1) used by the timeline
+benchmark.
+
+The checks are the literal quantified statements of Section III translated
+to interval algebra:
+
+* Rule 1: every maximal risky-dwelling interval of entity ``xi_i`` must be
+  no longer than its bound.
+* Rule 2 / p2: every risky interval of the outer entity must be covered by
+  the risky intervals of the inner entity.
+* Rule 2 / p1: the coverage must extend ``T^min_risky`` *before* the outer
+  entity's risky interval (enter-risky safeguard).
+* Rule 2 / p3: the coverage must extend ``T^min_safe`` *after* the outer
+  entity's risky interval (exit-risky safeguard).
+
+Safeguard windows are clipped to the observed horizon so that an execution
+cut off by the end of a trial is not blamed for what it could not show.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping
+
+from repro.core.intervals import Interval, IntervalSet
+from repro.core.rules import (EmbeddingProperty, PTERuleSet, RuleKind, SafetyViolation)
+from repro.errors import SafetyViolationError
+from repro.hybrid.trace import Trace
+from repro.util.timebase import EPSILON
+
+
+@dataclass(frozen=True)
+class EmbeddingMeasurement:
+    """Measured safeguard margins around one outer-entity risky episode.
+
+    These are the concrete ``t1`` (enter margin) and ``t2`` (exit margin)
+    quantities of the paper's Fig. 1, measured from a trace.
+
+    Attributes:
+        inner: Inner (lower-ordered) entity name.
+        outer: Outer (higher-ordered) entity name.
+        outer_interval: The outer entity's risky interval being measured.
+        enter_margin: How long the inner entity had already been risky when
+            the outer entity entered risky (``None`` when containment
+            already fails at the entry instant).
+        exit_margin: How long the inner entity remained risky after the
+            outer entity returned to safe (``None`` when containment fails
+            at the exit instant, or not measurable because the trace ended).
+        contained: Whether p2 containment held for the whole interval.
+    """
+
+    inner: str
+    outer: str
+    outer_interval: Interval
+    enter_margin: float | None
+    exit_margin: float | None
+    contained: bool
+
+
+@dataclass
+class MonitorReport:
+    """Outcome of checking one trace against a PTE rule set.
+
+    Attributes:
+        violations: Every individual violation found.
+        max_dwell: Per-entity longest continuous risky dwelling observed.
+        risky_episodes: Per-entity number of maximal risky intervals.
+        measurements: Embedding measurements for every consecutive pair.
+        horizon: Duration of the checked trace.
+    """
+
+    violations: List[SafetyViolation] = field(default_factory=list)
+    max_dwell: Dict[str, float] = field(default_factory=dict)
+    risky_episodes: Dict[str, int] = field(default_factory=dict)
+    measurements: List[EmbeddingMeasurement] = field(default_factory=list)
+    horizon: float = 0.0
+
+    @property
+    def safe(self) -> bool:
+        """True when no PTE safety rule was violated."""
+        return not self.violations
+
+    @property
+    def failure_count(self) -> int:
+        """Number of distinct failure episodes (Table I's "# of Failures").
+
+        Several violations produced by the same risky episode (same entity,
+        same episode start time) count as one failure, mirroring how the
+        paper counts one failure per offending laser emission / ventilator
+        pause rather than one per violated sub-property.
+        """
+        episodes = {(v.entity, round(v.time, 6)) for v in self.violations}
+        return len(episodes)
+
+    def violations_of(self, rule: RuleKind) -> List[SafetyViolation]:
+        """Violations restricted to one of the two PTE rules."""
+        return [v for v in self.violations if v.rule is rule]
+
+    def min_enter_margin(self) -> float | None:
+        """Smallest observed enter-risky margin across all measurements."""
+        margins = [m.enter_margin for m in self.measurements if m.enter_margin is not None]
+        return min(margins, default=None)
+
+    def min_exit_margin(self) -> float | None:
+        """Smallest observed exit-risky margin across all measurements."""
+        margins = [m.exit_margin for m in self.measurements if m.exit_margin is not None]
+        return min(margins, default=None)
+
+    def summary(self) -> str:
+        """One-line human-readable verdict."""
+        verdict = "SAFE" if self.safe else f"{len(self.violations)} violation(s)"
+        dwell = ", ".join(f"{k}:{v:.1f}s" for k, v in sorted(self.max_dwell.items()))
+        return f"PTE check over {self.horizon:.0f}s: {verdict}; max risky dwell {dwell}"
+
+
+class PTEMonitor:
+    """Checks recorded traces against a PTE rule set.
+
+    Args:
+        rules: The PTE safety-rule set to enforce.
+        automaton_of: Optional mapping from rule-set entity names to trace
+            automaton names when they differ (defaults to the identity).
+    """
+
+    def __init__(self, rules: PTERuleSet,
+                 automaton_of: Mapping[str, str] | None = None):
+        self.rules = rules
+        self._automaton_of = dict(automaton_of or {})
+
+    def _trace_name(self, entity: str) -> str:
+        return self._automaton_of.get(entity, entity)
+
+    def _risky_set(self, trace: Trace, entity: str) -> IntervalSet:
+        pairs = trace.risky_intervals(self._trace_name(entity))
+        return IntervalSet(Interval(start, end) for start, end in pairs)
+
+    # -- rule 1 -------------------------------------------------------------------
+    def _check_bounded_dwelling(self, trace: Trace, report: MonitorReport) -> None:
+        for entity in self.rules.entities:
+            risky = self._risky_set(trace, entity)
+            report.max_dwell[entity] = risky.max_duration
+            report.risky_episodes[entity] = len(risky)
+            bound = self.rules.dwelling_bound(entity)
+            for interval in risky:
+                if interval.duration > bound + EPSILON:
+                    report.violations.append(SafetyViolation(
+                        rule=RuleKind.BOUNDED_DWELLING,
+                        entity=entity,
+                        time=interval.start,
+                        measured=interval.duration,
+                        required=bound,
+                        detail=(f"continuous risky dwelling of {interval.duration:.3f}s "
+                                f"exceeds the bound of {bound:.3f}s")))
+
+    # -- rule 2 -------------------------------------------------------------------
+    def _check_pair(self, trace: Trace, inner: str, outer: str,
+                    enter_safeguard: float, exit_safeguard: float,
+                    report: MonitorReport) -> None:
+        inner_risky = self._risky_set(trace, inner)
+        outer_risky = self._risky_set(trace, outer)
+        horizon = trace.end_time
+        for outer_interval in outer_risky:
+            contained = inner_risky.covers(outer_interval)
+            covering = inner_risky.covering_interval(outer_interval.start)
+            enter_margin: float | None = None
+            exit_margin: float | None = None
+            if covering is not None:
+                enter_margin = outer_interval.start - covering.start
+            end_cover = inner_risky.covering_interval(outer_interval.end)
+            if end_cover is not None:
+                exit_margin = end_cover.end - outer_interval.end
+                if outer_interval.end + exit_safeguard > horizon - EPSILON:
+                    # The trace ended before the exit safeguard window closed;
+                    # report the observable margin but do not judge it.
+                    exit_margin_observable = False
+                else:
+                    exit_margin_observable = True
+            else:
+                exit_margin_observable = outer_interval.end + EPSILON < horizon
+            report.measurements.append(EmbeddingMeasurement(
+                inner=inner, outer=outer, outer_interval=outer_interval,
+                enter_margin=enter_margin, exit_margin=exit_margin,
+                contained=contained))
+
+            # p2 -- containment
+            if not contained:
+                report.violations.append(SafetyViolation(
+                    rule=RuleKind.TEMPORAL_EMBEDDING,
+                    property=EmbeddingProperty.P2_CONTAINMENT,
+                    entity=outer, counterpart=inner,
+                    time=outer_interval.start,
+                    detail=(f"{outer} dwelled in risky locations during "
+                            f"{outer_interval} without {inner} being risky the whole time")))
+                continue
+
+            # p1 -- enter-risky safeguard (clipped at the start of the trace)
+            required_start = max(0.0, outer_interval.start - enter_safeguard)
+            enter_window = Interval(required_start, outer_interval.start)
+            if enter_window.duration > EPSILON and not inner_risky.covers(enter_window):
+                report.violations.append(SafetyViolation(
+                    rule=RuleKind.TEMPORAL_EMBEDDING,
+                    property=EmbeddingProperty.P1_ENTER_SAFEGUARD,
+                    entity=outer, counterpart=inner,
+                    time=outer_interval.start,
+                    measured=enter_margin,
+                    required=enter_safeguard,
+                    detail=(f"{outer} entered risky at t={outer_interval.start:.3f}s only "
+                            f"{0.0 if enter_margin is None else enter_margin:.3f}s after "
+                            f"{inner}; required enter safeguard is {enter_safeguard:.3f}s")))
+
+            # p3 -- exit-risky safeguard (clipped at the end of the trace).
+            # The violation is stamped with the episode's start time so that
+            # several violated sub-properties of one risky episode aggregate
+            # into a single failure (Table I counts failures per episode).
+            required_end = min(horizon, outer_interval.end + exit_safeguard)
+            exit_window = Interval(outer_interval.end, required_end)
+            if (exit_margin_observable and exit_window.duration > EPSILON
+                    and not inner_risky.covers(exit_window)):
+                report.violations.append(SafetyViolation(
+                    rule=RuleKind.TEMPORAL_EMBEDDING,
+                    property=EmbeddingProperty.P3_EXIT_SAFEGUARD,
+                    entity=outer, counterpart=inner,
+                    time=outer_interval.start,
+                    measured=exit_margin,
+                    required=exit_safeguard,
+                    detail=(f"{inner} left risky only "
+                            f"{0.0 if exit_margin is None else exit_margin:.3f}s after "
+                            f"{outer} at t={outer_interval.end:.3f}s; required exit "
+                            f"safeguard is {exit_safeguard:.3f}s")))
+
+    # -- public API -----------------------------------------------------------------
+    def check(self, trace: Trace, *, strict: bool = False) -> MonitorReport:
+        """Check one trace; optionally raise on the first violation.
+
+        Args:
+            trace: The recorded execution to check.
+            strict: When True, raise :class:`SafetyViolationError` if any
+                violation is found (after the full report is assembled).
+
+        Returns:
+            The complete :class:`MonitorReport`.
+        """
+        report = MonitorReport(horizon=trace.end_time)
+        self._check_bounded_dwelling(trace, report)
+        for pair in self.rules.order.consecutive_pairs():
+            self._check_pair(trace, pair.inner, pair.outer,
+                             pair.enter_safeguard, pair.exit_safeguard, report)
+        if strict and report.violations:
+            raise SafetyViolationError(
+                f"{len(report.violations)} PTE violation(s); first: {report.violations[0]}")
+        return report
+
+
+def check_trace(trace: Trace, rules: PTERuleSet,
+                automaton_of: Mapping[str, str] | None = None,
+                *, strict: bool = False) -> MonitorReport:
+    """Convenience wrapper: build a :class:`PTEMonitor` and check one trace."""
+    return PTEMonitor(rules, automaton_of).check(trace, strict=strict)

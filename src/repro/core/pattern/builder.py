@@ -1,0 +1,190 @@
+"""Assembly of a complete lease-pattern hybrid system.
+
+:func:`build_pattern_system` instantiates one Supervisor, ``N-1``
+Participants and one Initializer from a
+:class:`~repro.core.configuration.PatternConfiguration`, wires them into a
+:class:`~repro.hybrid.system.HybridSystem` and returns a
+:class:`PatternSystem` handle bundling everything an experiment needs:
+the hybrid system, the per-role automata, the event vocabulary, the PTE
+rule set the configuration is meant to guarantee, and a ready-made sink
+wireless network description.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Sequence
+
+from repro.core.configuration import PatternConfiguration
+from repro.core.constraints import check_conditions
+from repro.core.pattern.events import EventVocabulary
+from repro.core.pattern.initializer import build_initializer
+from repro.core.pattern.participant import build_participant
+from repro.core.pattern.roles import Role
+from repro.core.pattern.supervisor import build_supervisor
+from repro.core.rules import PTERuleSet
+from repro.errors import ConfigurationError
+from repro.hybrid.automaton import HybridAutomaton
+from repro.hybrid.expressions import Predicate, TRUE
+from repro.hybrid.system import HybridSystem
+from repro.wireless.channel import Channel
+from repro.wireless.network import SinkWirelessNetwork
+
+
+@dataclass
+class PatternSystem:
+    """A fully assembled lease-pattern wireless CPS.
+
+    Attributes:
+        system: The hybrid system containing every member automaton.
+        supervisor: The Supervisor automaton (``xi_0``).
+        participants: Participant automata in PTE order (``xi_1 .. xi_{N-1}``).
+        initializer: The Initializer automaton (``xi_N``).
+        config: The configuration the automata were built from.
+        vocabulary: Event roots of this pattern instance.
+        entity_names: Remote entity names in PTE order (``xi_1`` first).
+        rules: The PTE rule set this design is meant to guarantee.
+        lease_enabled: False for the no-lease baseline variant.
+    """
+
+    system: HybridSystem
+    supervisor: HybridAutomaton
+    participants: List[HybridAutomaton]
+    initializer: HybridAutomaton
+    config: PatternConfiguration
+    vocabulary: EventVocabulary
+    entity_names: List[str]
+    rules: PTERuleSet
+    lease_enabled: bool = True
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def supervisor_name(self) -> str:
+        """Automaton / entity name of the Supervisor."""
+        return self.supervisor.name
+
+    @property
+    def remote_names(self) -> List[str]:
+        """Automaton names of every remote entity in PTE order."""
+        return list(self.entity_names)
+
+    @property
+    def initializer_name(self) -> str:
+        """Automaton name of the Initializer."""
+        return self.initializer.name
+
+    def automaton_for(self, index: int) -> HybridAutomaton:
+        """The remote entity automaton ``xi_index`` (1-based, PTE order)."""
+        if not 1 <= index <= self.config.n_entities:
+            raise ConfigurationError(
+                f"entity index must lie in 1..{self.config.n_entities}, got {index}")
+        if index == self.config.n_entities:
+            return self.initializer
+        return self.participants[index - 1]
+
+    def build_network(self, default_channel: Channel | None = None,
+                      uplink_channels: Mapping[str, Channel] | None = None,
+                      downlink_channels: Mapping[str, Channel] | None = None) -> SinkWirelessNetwork:
+        """Create the sink wireless network matching this system's topology."""
+        return SinkWirelessNetwork(
+            base_station=self.supervisor_name,
+            remote_entities=self.remote_names,
+            default_channel=default_channel,
+            uplink_channels=uplink_channels,
+            downlink_channels=downlink_channels)
+
+    def constraint_report(self):
+        """Theorem 1 constraint report for the underlying configuration."""
+        return check_conditions(self.config)
+
+
+def default_entity_names(n_entities: int) -> List[str]:
+    """Canonical entity names ``["xi1", ..., "xiN"]``."""
+    return [f"xi{i}" for i in range(1, n_entities + 1)]
+
+
+def build_pattern_system(config: PatternConfiguration, *,
+                         entity_names: Sequence[str] | None = None,
+                         supervisor_name: str = "xi0",
+                         approval_condition: Predicate = TRUE,
+                         supervisor_variables: Mapping[str, float] | None = None,
+                         participation_conditions: Mapping[int, Predicate] | None = None,
+                         lease_enabled: bool = True,
+                         require_valid_configuration: bool = False,
+                         system_name: str = "lease-pattern-cps") -> PatternSystem:
+    """Instantiate the full design pattern for ``config``.
+
+    Args:
+        config: Lease-pattern configuration (``N`` entities).
+        entity_names: Names for the remote entities in PTE order; defaults
+            to ``xi1 .. xiN``.  Names double as automaton names and as
+            wireless entity names.
+        supervisor_name: Name of the Supervisor automaton / base station.
+        approval_condition: Supervisor ``ApprovalCondition`` predicate.
+        supervisor_variables: Extra Supervisor variables (e.g. an ``spo2``
+            reading written by a wired-sensor coupling).
+        participation_conditions: Optional per-participant-index
+            ``ParticipationCondition`` predicates.
+        lease_enabled: When False every remote entity is built without its
+            lease-expiry edge (the Table I baseline).
+        require_valid_configuration: When True, raise if the configuration
+            violates any of Theorem 1's conditions.  Left off by default so
+            that ablation experiments can deliberately build invalid
+            designs.
+        system_name: Name of the resulting hybrid system.
+
+    Returns:
+        A :class:`PatternSystem` bundling the automata and their wiring.
+    """
+    names = list(entity_names) if entity_names is not None else default_entity_names(
+        config.n_entities)
+    if len(names) != config.n_entities:
+        raise ConfigurationError(
+            f"expected {config.n_entities} entity names, got {len(names)}")
+    if len(set(names)) != len(names) or supervisor_name in names:
+        raise ConfigurationError("entity names (and the supervisor name) must be distinct")
+    if require_valid_configuration:
+        from repro.core.constraints import assert_valid
+
+        assert_valid(config)
+
+    conditions = dict(participation_conditions or {})
+    system = HybridSystem(system_name)
+
+    supervisor = build_supervisor(
+        config, entity_id="xi0", name=supervisor_name,
+        approval_condition=approval_condition,
+        extra_variables=supervisor_variables)
+    system.add(supervisor, entity=supervisor_name)
+
+    participants: List[HybridAutomaton] = []
+    for index in range(1, config.n_entities):
+        participant = build_participant(
+            config, index, entity_id=f"xi{index}", name=names[index - 1],
+            participation_condition=conditions.get(index, TRUE),
+            lease_enabled=lease_enabled)
+        system.add(participant, entity=names[index - 1])
+        participants.append(participant)
+
+    initializer = build_initializer(
+        config, entity_id=f"xi{config.n_entities}", name=names[-1],
+        lease_enabled=lease_enabled)
+    system.add(initializer, entity=names[-1])
+
+    rules = config.to_rule_set(names)
+    vocabulary = EventVocabulary(config.n_entities)
+    return PatternSystem(
+        system=system,
+        supervisor=supervisor,
+        participants=participants,
+        initializer=initializer,
+        config=config,
+        vocabulary=vocabulary,
+        entity_names=names,
+        rules=rules,
+        lease_enabled=lease_enabled,
+        metadata={"roles": {supervisor_name: Role.SUPERVISOR.value,
+                            **{names[i - 1]: Role.PARTICIPANT.value
+                               for i in range(1, config.n_entities)},
+                            names[-1]: Role.INITIALIZER.value}},
+    )

@@ -1,0 +1,142 @@
+"""The Initializer design-pattern automaton ``A_initzr`` (Section IV-A, Fig. 5a).
+
+The Initializer ``xi_N`` is the only remote entity allowed to proactively
+request entering its risky locations.  Its request, approval and dwelling
+are all bounded:
+
+* a pending request expires after ``T^max_req,N`` if the approval never
+  arrives;
+* the ramp through "Entering" lasts exactly ``T^max_enter,N``;
+* the risky dwelling in "Risky Core" is leased: after ``T^max_run,N`` the
+  Initializer exits on its own (the Table I ``evtToStop`` events are exactly
+  these forced exits);
+* both exit paths dwell ``T_exit,N`` and then return to "Fall-Back".
+
+The proactive request and cancellation are driven by local command events
+(``cmd_initiate``/``cmd_cancel``): in the case study these are issued by the
+surgeon model, delivered reliably because the surgeon operates the
+laser-scalpel directly rather than over the wireless network.
+"""
+
+from __future__ import annotations
+
+from repro.core.configuration import PatternConfiguration
+from repro.core.pattern import events
+from repro.core.pattern.roles import (ENTERING, EXITING_1, EXITING_2, FALL_BACK,
+                                      REQUESTING, RISKY_CORE, Role, qualified)
+from repro.errors import ConfigurationError
+from repro.hybrid.automaton import HybridAutomaton
+from repro.hybrid.edges import Edge, Reset
+from repro.hybrid.expressions import var_ge
+from repro.hybrid.flows import clock_flow
+from repro.hybrid.labels import receive, receive_lossy
+from repro.hybrid.locations import Location
+
+
+def build_initializer(config: PatternConfiguration, *,
+                      index: int | None = None,
+                      entity_id: str | None = None,
+                      name: str | None = None,
+                      lease_enabled: bool = True) -> HybridAutomaton:
+    """Build the Initializer automaton ``A_initzr`` for entity ``xi_N``.
+
+    Args:
+        config: Pattern configuration providing ``T^max_req,N`` and the
+            Initializer's lease trio.
+        index: Entity index; defaults to ``N`` and must equal it.
+        entity_id: Identifier used to namespace locations and the local
+            clock; defaults to ``"xi{N}"``.
+        name: Automaton name; defaults to ``entity_id``.
+        lease_enabled: When False, the lease-expiry edge out of "Risky Core"
+            is omitted (the no-lease baseline of Table I).
+
+    Returns:
+        The Initializer :class:`~repro.hybrid.automaton.HybridAutomaton`.
+    """
+    expected = config.n_entities
+    index = expected if index is None else index
+    if index != expected:
+        raise ConfigurationError(
+            f"the Initializer must be entity xi{expected} for this configuration, "
+            f"got index {index}")
+    entity_id = entity_id or f"xi{index}"
+    timing = config.initializer_timing
+    clock = f"c_{entity_id}"
+    flow = clock_flow(clock)
+
+    def loc(base: str) -> str:
+        return qualified(entity_id, base)
+
+    automaton = HybridAutomaton(
+        name or entity_id,
+        variables=[clock],
+        metadata={"role": Role.INITIALIZER.value, "entity_index": index,
+                  "entity_id": entity_id, "lease_enabled": lease_enabled},
+    )
+    for base in (FALL_BACK, REQUESTING, ENTERING, RISKY_CORE, EXITING_1, EXITING_2):
+        automaton.add_location(Location(name=loc(base), flow=flow,
+                                        risky=base in (RISKY_CORE, EXITING_1)))
+    automaton.initial_location = loc(FALL_BACK)
+
+    reset = Reset({clock: 0.0})
+    cmd_request = events.command_request(index)
+    cmd_cancel = events.command_cancel(index)
+
+    # Fall-Back: a local command makes the Initializer request its lease.
+    automaton.add_edge(Edge(loc(FALL_BACK), loc(REQUESTING),
+                            trigger=receive(cmd_request),
+                            emits=[events.request(index)],
+                            reset=reset, reason="request"))
+
+    # Requesting: cancel, time out, or get approved.
+    automaton.add_edge(Edge(loc(REQUESTING), loc(FALL_BACK),
+                            trigger=receive(cmd_cancel),
+                            emits=[events.request_cancel(index)],
+                            reset=reset, reason="user_cancel"))
+    automaton.add_edge(Edge(loc(REQUESTING), loc(FALL_BACK),
+                            guard=var_ge(clock, config.t_req_max),
+                            reset=reset, reason="request_timeout"))
+    automaton.add_edge(Edge(loc(REQUESTING), loc(ENTERING),
+                            trigger=receive_lossy(events.approve(index)),
+                            reset=reset, reason="approved"))
+
+    # Entering: ramp toward the risky core; any stop request drops to Exiting 2.
+    automaton.add_edge(Edge(loc(ENTERING), loc(EXITING_2),
+                            trigger=receive(cmd_cancel),
+                            emits=[events.request_cancel(index)],
+                            reset=reset, reason="user_cancel"))
+    automaton.add_edge(Edge(loc(ENTERING), loc(EXITING_2),
+                            trigger=receive_lossy(events.abort(index)),
+                            reset=reset, reason="abort"))
+    automaton.add_edge(Edge(loc(ENTERING), loc(EXITING_2),
+                            trigger=receive_lossy(events.cancel(index)),
+                            reset=reset, reason="cancel"))
+    automaton.add_edge(Edge(loc(ENTERING), loc(RISKY_CORE),
+                            guard=var_ge(clock, timing.t_enter_max),
+                            reset=reset, reason="enter_complete"))
+
+    # Risky Core: stop requests or the lease expiry lead to Exiting 1.
+    automaton.add_edge(Edge(loc(RISKY_CORE), loc(EXITING_1),
+                            trigger=receive(cmd_cancel),
+                            emits=[events.request_cancel(index)],
+                            reset=reset, reason="user_cancel"))
+    automaton.add_edge(Edge(loc(RISKY_CORE), loc(EXITING_1),
+                            trigger=receive_lossy(events.abort(index)),
+                            reset=reset, reason="abort"))
+    automaton.add_edge(Edge(loc(RISKY_CORE), loc(EXITING_1),
+                            trigger=receive_lossy(events.cancel(index)),
+                            reset=reset, reason="cancel"))
+    if lease_enabled:
+        automaton.add_edge(Edge(loc(RISKY_CORE), loc(EXITING_1),
+                                guard=var_ge(clock, timing.t_run_max),
+                                reset=reset, reason="lease_expiry"))
+
+    # Exiting: mandatory dwell, then back to Fall-Back with a confirmation.
+    for exiting in (EXITING_1, EXITING_2):
+        automaton.add_edge(Edge(loc(exiting), loc(FALL_BACK),
+                                guard=var_ge(clock, timing.t_exit),
+                                emits=[events.exited(index)],
+                                reset=reset, reason="exit_complete"))
+
+    automaton.validate()
+    return automaton

@@ -1,0 +1,123 @@
+"""The Participant design-pattern automaton ``A_ptcpnt,i`` (Section IV-A, Fig. 5b).
+
+A Participant ``xi_i`` (``i = 1 .. N-1``) starts in "Fall-Back".  When the
+Supervisor offers it a lease it decides (in the zero-dwell location "L0")
+whether its application-dependent ``ParticipationCondition`` holds; if so
+it approves and enters its risky locations through "Entering", otherwise it
+denies and stays in "Fall-Back".  The dwelling in risky locations is bounded
+by the lease: after ``T^max_run,i`` in "Risky Core" the Participant exits on
+its own, whether or not any cancel/abort message gets through -- this
+auto-reset is precisely what protects the PTE safety rules under arbitrary
+wireless loss.
+"""
+
+from __future__ import annotations
+
+from repro.core.configuration import PatternConfiguration
+from repro.core.pattern import events
+from repro.core.pattern.roles import (ENTERING, EXITING_1, EXITING_2, FALL_BACK, L0,
+                                      RISKY_CORE, Role, qualified)
+from repro.errors import ConfigurationError
+from repro.hybrid.automaton import HybridAutomaton
+from repro.hybrid.edges import Edge, Reset
+from repro.hybrid.expressions import Not, Predicate, TRUE, var_ge
+from repro.hybrid.flows import clock_flow
+from repro.hybrid.labels import receive_lossy
+from repro.hybrid.locations import Location
+
+
+def build_participant(config: PatternConfiguration, index: int, *,
+                      entity_id: str | None = None,
+                      name: str | None = None,
+                      participation_condition: Predicate = TRUE,
+                      lease_enabled: bool = True) -> HybridAutomaton:
+    """Build the Participant automaton for entity ``xi_index``.
+
+    Args:
+        config: Pattern configuration providing the lease trio of ``xi_index``.
+        index: Entity index in PTE order; must satisfy ``1 <= index < N``.
+        entity_id: Identifier used to namespace locations and the local
+            clock; defaults to ``"xi{index}"``.
+        name: Automaton name; defaults to ``entity_id``.
+        participation_condition: The application-dependent
+            ``ParticipationCondition`` evaluated in "L0" over this
+            automaton's variables.
+        lease_enabled: When False, the lease-expiry edge out of "Risky Core"
+            is omitted.  This produces the no-lease baseline used for the
+            "without Lease" rows of Table I and must never be used in a
+            safety-critical deployment.
+
+    Returns:
+        The Participant :class:`~repro.hybrid.automaton.HybridAutomaton`.
+    """
+    if not 1 <= index <= config.n_entities - 1:
+        raise ConfigurationError(
+            f"participant index must lie in 1..{config.n_entities - 1}, got {index}")
+    entity_id = entity_id or f"xi{index}"
+    timing = config.timing(index)
+    clock = f"c_{entity_id}"
+    flow = clock_flow(clock)
+
+    def loc(base: str) -> str:
+        return qualified(entity_id, base)
+
+    automaton = HybridAutomaton(
+        name or entity_id,
+        variables=[clock],
+        metadata={"role": Role.PARTICIPANT.value, "entity_index": index,
+                  "entity_id": entity_id, "lease_enabled": lease_enabled},
+    )
+    for base in (FALL_BACK, L0, ENTERING, RISKY_CORE, EXITING_1, EXITING_2):
+        automaton.add_location(Location(name=loc(base), flow=flow,
+                                        risky=base in (RISKY_CORE, EXITING_1)))
+    automaton.initial_location = loc(FALL_BACK)
+
+    reset = Reset({clock: 0.0})
+
+    # Fall-Back --(lease offer)--> L0 (zero-dwell decision location).
+    automaton.add_edge(Edge(loc(FALL_BACK), loc(L0),
+                            trigger=receive_lossy(events.lease_request(index)),
+                            reset=reset, reason="lease_requested"))
+
+    # L0: decide according to the ParticipationCondition.
+    automaton.add_edge(Edge(loc(L0), loc(ENTERING),
+                            guard=participation_condition,
+                            emits=[events.lease_approve(index)],
+                            reset=reset, reason="lease_approved", priority=1))
+    automaton.add_edge(Edge(loc(L0), loc(FALL_BACK),
+                            guard=Not(participation_condition),
+                            emits=[events.lease_deny(index)],
+                            reset=reset, reason="lease_denied"))
+
+    # Entering: ramp toward the risky core, abort/cancel drop to Exiting 2.
+    automaton.add_edge(Edge(loc(ENTERING), loc(EXITING_2),
+                            trigger=receive_lossy(events.cancel(index)),
+                            reset=reset, reason="cancel"))
+    automaton.add_edge(Edge(loc(ENTERING), loc(EXITING_2),
+                            trigger=receive_lossy(events.abort(index)),
+                            reset=reset, reason="abort"))
+    automaton.add_edge(Edge(loc(ENTERING), loc(RISKY_CORE),
+                            guard=var_ge(clock, timing.t_enter_max),
+                            reset=reset, reason="enter_complete"))
+
+    # Risky Core: cancel/abort or lease expiry lead to Exiting 1.
+    automaton.add_edge(Edge(loc(RISKY_CORE), loc(EXITING_1),
+                            trigger=receive_lossy(events.cancel(index)),
+                            reset=reset, reason="cancel"))
+    automaton.add_edge(Edge(loc(RISKY_CORE), loc(EXITING_1),
+                            trigger=receive_lossy(events.abort(index)),
+                            reset=reset, reason="abort"))
+    if lease_enabled:
+        automaton.add_edge(Edge(loc(RISKY_CORE), loc(EXITING_1),
+                                guard=var_ge(clock, timing.t_run_max),
+                                reset=reset, reason="lease_expiry"))
+
+    # Exiting: mandatory dwell, then back to Fall-Back with a confirmation.
+    for exiting in (EXITING_1, EXITING_2):
+        automaton.add_edge(Edge(loc(exiting), loc(FALL_BACK),
+                                guard=var_ge(clock, timing.t_exit),
+                                emits=[events.exited(index)],
+                                reset=reset, reason="exit_complete"))
+
+    automaton.validate()
+    return automaton

@@ -1,0 +1,231 @@
+"""The PTE safety rules (paper Section III).
+
+Two rules make up the *Proper-Temporal-Embedding* safety-rule category:
+
+* **PTE Safety Rule 1 (Bounded Dwelling)** -- every remote entity's
+  continuous dwelling time in risky locations is upper-bounded by a
+  constant.
+* **PTE Safety Rule 2 (Proper Temporal Embedding)** -- the PTE partial
+  order over the remote entities is a full order ``xi_1 < xi_2 < ... <
+  xi_N``, where ``xi_i < xi_j`` requires (Definition 1):
+
+  * *p1* -- whenever ``xi_i`` dwells in safe locations at time ``t``,
+    ``xi_j`` dwells in safe locations throughout
+    ``[t, t + T^min_risky:i->j]`` (the enter-risky safeguard);
+  * *p2* -- whenever ``xi_j`` dwells in risky locations, ``xi_i`` dwells in
+    risky locations;
+  * *p3* -- whenever ``xi_j`` dwells in risky locations at time ``t``,
+    ``xi_i`` dwells in risky locations throughout
+    ``[t, t + T^min_safe:j->i]`` (the exit-risky safeguard).
+
+This module holds the declarative description of a PTE rule set
+(:class:`PTEOrderSpec` / :class:`PTERuleSet`); the checking logic over
+recorded traces lives in :mod:`repro.core.monitor`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Sequence
+
+from repro.errors import ConfigurationError
+
+
+class RuleKind(enum.Enum):
+    """Which of the two PTE safety rules a violation refers to."""
+
+    BOUNDED_DWELLING = "rule1-bounded-dwelling"
+    TEMPORAL_EMBEDDING = "rule2-proper-temporal-embedding"
+
+
+class EmbeddingProperty(enum.Enum):
+    """The three properties p1-p3 of the PTE partial order (Definition 1)."""
+
+    P1_ENTER_SAFEGUARD = "p1-enter-risky-safeguard"
+    P2_CONTAINMENT = "p2-risky-containment"
+    P3_EXIT_SAFEGUARD = "p3-exit-risky-safeguard"
+
+
+@dataclass(frozen=True)
+class PTEPairRequirement:
+    """The requirements tying one ordered pair ``xi_inner < xi_outer``.
+
+    ``inner`` is the lower-ordered entity (it must enter risky first and
+    leave last, e.g. the ventilator); ``outer`` is the higher-ordered entity
+    (e.g. the laser-scalpel).
+
+    Attributes:
+        inner: Name of the lower-ordered entity (``xi_i``).
+        outer: Name of the higher-ordered entity (``xi_{i+1}``).
+        enter_safeguard: ``T^min_risky:i->i+1`` -- minimum time the inner
+            entity must already have dwelled in risky locations before the
+            outer entity may enter its risky locations.
+        exit_safeguard: ``T^min_safe:i+1->i`` -- minimum time the inner
+            entity must remain in risky locations after the outer entity
+            has returned to safe locations.
+    """
+
+    inner: str
+    outer: str
+    enter_safeguard: float
+    exit_safeguard: float
+
+    def __post_init__(self) -> None:
+        if self.enter_safeguard < 0 or self.exit_safeguard < 0:
+            raise ConfigurationError("safeguard intervals must be non-negative")
+        if self.inner == self.outer:
+            raise ConfigurationError("a PTE pair needs two distinct entities")
+
+
+@dataclass(frozen=True)
+class PTEOrderSpec:
+    """The full PTE order ``xi_1 < xi_2 < ... < xi_N`` with its safeguards.
+
+    Attributes:
+        entities: Entity names in ascending PTE order (``xi_1`` first).
+        enter_safeguards: ``T^min_risky:i->i+1`` for consecutive pairs, one
+            value per pair (length ``N - 1``).
+        exit_safeguards: ``T^min_safe:i+1->i`` for consecutive pairs.
+    """
+
+    entities: tuple[str, ...]
+    enter_safeguards: tuple[float, ...]
+    exit_safeguards: tuple[float, ...]
+
+    def __init__(self, entities: Sequence[str], enter_safeguards: Sequence[float],
+                 exit_safeguards: Sequence[float]):
+        if len(entities) < 2:
+            raise ConfigurationError("a PTE order needs at least two entities (N >= 2)")
+        if len(set(entities)) != len(entities):
+            raise ConfigurationError("PTE order entities must be distinct")
+        if len(enter_safeguards) != len(entities) - 1:
+            raise ConfigurationError(
+                "need exactly one enter-risky safeguard per consecutive entity pair")
+        if len(exit_safeguards) != len(entities) - 1:
+            raise ConfigurationError(
+                "need exactly one exit-risky safeguard per consecutive entity pair")
+        object.__setattr__(self, "entities", tuple(entities))
+        object.__setattr__(self, "enter_safeguards",
+                           tuple(float(v) for v in enter_safeguards))
+        object.__setattr__(self, "exit_safeguards",
+                           tuple(float(v) for v in exit_safeguards))
+
+    @property
+    def n_entities(self) -> int:
+        """Number of remote entities in the order (``N``)."""
+        return len(self.entities)
+
+    def consecutive_pairs(self) -> List[PTEPairRequirement]:
+        """The ``N - 1`` consecutive pair requirements of the full order."""
+        pairs = []
+        for index in range(len(self.entities) - 1):
+            pairs.append(PTEPairRequirement(
+                inner=self.entities[index],
+                outer=self.entities[index + 1],
+                enter_safeguard=self.enter_safeguards[index],
+                exit_safeguard=self.exit_safeguards[index]))
+        return pairs
+
+    def pair(self, inner: str, outer: str) -> PTEPairRequirement:
+        """The requirement for a specific consecutive pair."""
+        for candidate in self.consecutive_pairs():
+            if candidate.inner == inner and candidate.outer == outer:
+                return candidate
+        raise ConfigurationError(
+            f"({inner!r}, {outer!r}) is not a consecutive pair of this PTE order")
+
+
+@dataclass(frozen=True)
+class PTERuleSet:
+    """A complete PTE safety-rule set for one wireless CPS.
+
+    Attributes:
+        order: The PTE full order with its safeguard intervals (Rule 2).
+        dwelling_bounds: Upper bound on continuous risky dwelling per entity
+            (Rule 1).  Entities absent from the mapping use
+            ``default_dwelling_bound``.
+        default_dwelling_bound: Fallback Rule 1 bound.
+    """
+
+    order: PTEOrderSpec
+    dwelling_bounds: Dict[str, float] = field(default_factory=dict)
+    default_dwelling_bound: float = float("inf")
+
+    def __init__(self, order: PTEOrderSpec,
+                 dwelling_bounds: Dict[str, float] | None = None,
+                 default_dwelling_bound: float = float("inf")):
+        object.__setattr__(self, "order", order)
+        object.__setattr__(self, "dwelling_bounds", dict(dwelling_bounds or {}))
+        object.__setattr__(self, "default_dwelling_bound", float(default_dwelling_bound))
+        for entity, bound in self.dwelling_bounds.items():
+            if bound <= 0:
+                raise ConfigurationError(
+                    f"dwelling bound for {entity!r} must be positive, got {bound}")
+
+    @property
+    def entities(self) -> tuple[str, ...]:
+        """Entity names in PTE order."""
+        return self.order.entities
+
+    def dwelling_bound(self, entity: str) -> float:
+        """The Rule 1 bound that applies to ``entity``."""
+        return self.dwelling_bounds.get(entity, self.default_dwelling_bound)
+
+
+@dataclass(frozen=True)
+class SafetyViolation:
+    """One detected violation of a PTE safety rule.
+
+    Attributes:
+        rule: Which rule was violated.
+        entity: Entity at fault (for Rule 2, the outer entity of the pair).
+        time: Time the violation occurred (start of the offending episode).
+        detail: Human-readable explanation with measured vs. required values.
+        property: For Rule 2, which of p1-p3 failed.
+        counterpart: For Rule 2, the other entity of the pair.
+        measured: The offending measured quantity (duration or margin).
+        required: The bound the measurement failed to meet.
+    """
+
+    rule: RuleKind
+    entity: str
+    time: float
+    detail: str
+    property: EmbeddingProperty | None = None
+    counterpart: str | None = None
+    measured: float | None = None
+    required: float | None = None
+
+    def __str__(self) -> str:
+        return f"[{self.rule.value}] t={self.time:.3f}s {self.entity}: {self.detail}"
+
+
+def laser_tracheotomy_rules(ventilator: str = "ventilator",
+                            laser: str = "laser_scalpel",
+                            *, enter_safeguard: float = 3.0,
+                            exit_safeguard: float = 1.5,
+                            dwelling_bound: float = 60.0) -> PTERuleSet:
+    """The concrete rule set used by the paper's case study (Section V).
+
+    Ventilator pause must properly temporally embed laser emission with a
+    3 s enter safeguard and a 1.5 s exit safeguard, and neither ventilator
+    pause nor laser emission may last longer than one minute.
+    """
+    order = PTEOrderSpec(entities=[ventilator, laser],
+                         enter_safeguards=[enter_safeguard],
+                         exit_safeguards=[exit_safeguard])
+    return PTERuleSet(order=order,
+                      dwelling_bounds={ventilator: dwelling_bound, laser: dwelling_bound},
+                      default_dwelling_bound=dwelling_bound)
+
+
+def uniform_rules(entities: Iterable[str], *, enter_safeguard: float,
+                  exit_safeguard: float, dwelling_bound: float) -> PTERuleSet:
+    """Build a rule set with identical safeguards for every consecutive pair."""
+    names = list(entities)
+    order = PTEOrderSpec(
+        entities=names,
+        enter_safeguards=[enter_safeguard] * (len(names) - 1),
+        exit_safeguards=[exit_safeguard] * (len(names) - 1))
+    return PTERuleSet(order=order, default_dwelling_bound=dwelling_bound)

@@ -1,0 +1,19 @@
+"""Experiment drivers: one module per reproduced table/figure plus extensions."""
+
+from repro.experiments.ablation import run_ablation_constraints
+from repro.experiments.fig_elaboration import build_fig6_parent, run_fig6
+from repro.experiments.fig_pattern import run_fig3_5
+from repro.experiments.fig_pte_timeline import run_fig1
+from repro.experiments.fig_ventilator import run_fig2
+from repro.experiments.loss_sweep import run_loss_sweep
+from repro.experiments.runner import ExperimentResult
+from repro.experiments.scenarios import run_scenarios
+from repro.experiments.table1 import PAPER_TABLE1, run_table1
+
+__all__ = [
+    "ExperimentResult",
+    "run_table1", "PAPER_TABLE1",
+    "run_fig1", "run_fig2", "run_fig3_5", "run_fig6",
+    "run_scenarios", "run_ablation_constraints", "run_loss_sweep",
+    "build_fig6_parent",
+]

@@ -1,0 +1,91 @@
+"""Experiment ``ablation_c5`` (and friends): breaking Theorem 1's conditions.
+
+The paper's third scenario sets ``T^max_enter,2 = T^max_enter,1``, violating
+condition c5, and argues that the laser can then emit immediately after the
+ventilator pauses, breaking the 3-second enter-risky safeguard.  This
+experiment reproduces that ablation: it builds the misconfigured design,
+confirms the constraint checker flags exactly c5, runs a clean round and
+measures the (now insufficient) enter margin.
+
+A second ablation shrinks the ventilator's exit dwell below the exit
+safeguard (violating c7) and observes the exit margin collapse, showing
+that each closed-form condition maps to a concrete measurable safeguard.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.casestudy.config import CaseStudyConfig, LASER, VENTILATOR
+from repro.casestudy.emulation import run_trial
+from repro.casestudy.surgeon import ScriptedSurgeon
+from repro.core.configuration import EntityTiming
+from repro.core.constraints import check_conditions
+from repro.core.monitor import PTEMonitor
+from repro.experiments.runner import ExperimentResult
+from repro.wireless.channel import PerfectChannel
+
+
+def _measure_margins(config: CaseStudyConfig, horizon: float = 120.0):
+    """Run one clean round and return (enter margin, exit margin, failures)."""
+    surgeon = ScriptedSurgeon(requests_at=[14.0], cancels_at=[44.0])
+    result = run_trial(config, with_lease=True, seed=3, duration=horizon,
+                       channel=PerfectChannel(), surgeon=surgeon, keep_trace=True)
+    monitor = PTEMonitor(config.rules())
+    report = monitor.check(result.trace)
+    return report.min_enter_margin(), report.min_exit_margin(), report.failure_count
+
+
+def run_ablation_constraints(*, config: CaseStudyConfig | None = None) -> ExperimentResult:
+    """Measure safeguard margins for the paper configuration and two ablations."""
+    base = config or CaseStudyConfig()
+    rows = []
+    checks = {}
+
+    # Baseline: the paper's configuration.
+    baseline_report = check_conditions(base.pattern)
+    enter, exit_margin, failures = _measure_margins(base)
+    rows.append(["paper configuration", "all satisfied",
+                 round(enter or 0.0, 2), round(exit_margin or 0.0, 2), failures])
+    checks["paper_config_valid"] = baseline_report.satisfied
+    checks["paper_config_safe"] = failures == 0
+    checks["paper_enter_margin_ok"] = (enter or 0.0) >= base.enter_safeguard - 1e-6
+
+    # Ablation 1: T_enter,2 = T_enter,1 violates c5 (paper's third scenario).
+    laser_timing = base.pattern.timing(2)
+    vent_timing = base.pattern.timing(1)
+    broken_c5_pattern = base.pattern.with_timing(
+        2, EntityTiming(vent_timing.t_enter_max, laser_timing.t_run_max,
+                        laser_timing.t_exit))
+    broken_c5 = replace(base, pattern=broken_c5_pattern)
+    c5_report = check_conditions(broken_c5_pattern)
+    enter_c5, exit_c5, failures_c5 = _measure_margins(broken_c5)
+    rows.append(["T_enter,2 = T_enter,1 (breaks c5)",
+                 ", ".join(r.name for r in c5_report.violated) or "none",
+                 round(enter_c5 or 0.0, 2), round(exit_c5 or 0.0, 2), failures_c5])
+    checks["c5_flagged"] = any(r.name == "c5" for r in c5_report.violated)
+    checks["c5_breaks_enter_safeguard"] = (enter_c5 or 0.0) < base.enter_safeguard
+    checks["c5_violation_detected_by_monitor"] = failures_c5 > 0
+
+    # Ablation 2: T_exit,1 below the exit safeguard violates c7.
+    broken_c7_pattern = base.pattern.with_timing(
+        1, EntityTiming(vent_timing.t_enter_max, vent_timing.t_run_max, 1.0))
+    broken_c7 = replace(base, pattern=broken_c7_pattern)
+    c7_report = check_conditions(broken_c7_pattern)
+    enter_c7, exit_c7, failures_c7 = _measure_margins(broken_c7)
+    rows.append(["T_exit,1 = 1.0 s (breaks c7)",
+                 ", ".join(r.name for r in c7_report.violated) or "none",
+                 round(enter_c7 or 0.0, 2), round(exit_c7 or 0.0, 2), failures_c7])
+    checks["c7_flagged"] = any(r.name == "c7" for r in c7_report.violated)
+    checks["c7_breaks_exit_safeguard"] = (exit_c7 or 0.0) < base.exit_safeguard
+
+    return ExperimentResult(
+        experiment="ablation_c5",
+        title="Ablation: violating Theorem 1 conditions removes the measured safeguards",
+        headers=["configuration", "violated conditions", "min enter margin (s)",
+                 "min exit margin (s)", "failures"],
+        rows=rows,
+        notes=["paper scenario 3: with T_enter,2 = T_enter,1 the laser may emit "
+               "immediately after the ventilator pauses, violating the 3 s requirement"],
+        checks=checks,
+    )

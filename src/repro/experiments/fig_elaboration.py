@@ -1,0 +1,68 @@
+"""Experiment ``fig6``: the atomic elaboration example of Fig. 6.
+
+Reproduces the paper's worked example: a two-location automaton ``A``
+(Fall-Back / Risky, one data state variable ``x``) is elaborated at
+"Fall-Back" with the stand-alone ventilator ``A'_vent`` of Fig. 2.  The
+checks assert the structural facts the paper points out, most notably that
+the resulting automaton has no edge from "Risky" to "PumpIn" because
+"PumpIn" is not an initial location of ``A'_vent``.
+"""
+
+from __future__ import annotations
+
+from repro.casestudy.ventilator import build_standalone_ventilator
+from repro.experiments.runner import ExperimentResult
+from repro.hybrid.automaton import HybridAutomaton
+from repro.hybrid.edges import Edge, Reset
+from repro.hybrid.elaboration import elaborate, is_simple
+from repro.hybrid.flows import ConstantFlow
+from repro.hybrid.locations import Location
+from repro.hybrid.expressions import var_ge
+
+
+def build_fig6_parent() -> HybridAutomaton:
+    """The hybrid automaton ``A`` of Fig. 6(a): Fall-Back <-> Risky."""
+    automaton = HybridAutomaton("fig6_parent", variables=["x"],
+                                metadata={"figure": "Fig. 6(a)"})
+    automaton.add_location(Location("Fall-Back", flow=ConstantFlow({"x": 1.0})))
+    automaton.add_location(Location("Risky", flow=ConstantFlow({"x": 1.0}), risky=True))
+    automaton.initial_location = "Fall-Back"
+    automaton.add_edge(Edge("Fall-Back", "Risky", guard=var_ge("x", 5.0),
+                            reset=Reset({"x": 0.0}), reason="go_risky"))
+    automaton.add_edge(Edge("Risky", "Fall-Back", guard=var_ge("x", 8.0),
+                            reset=Reset({"x": 0.0}), reason="go_safe"))
+    return automaton
+
+
+def run_fig6() -> ExperimentResult:
+    """Perform the Fig. 6 elaboration and check its structure."""
+    parent = build_fig6_parent()
+    child = build_standalone_ventilator(name="fig6_vent")
+    simple, why = is_simple(child)
+    elaborated = elaborate(parent, "Fall-Back", child)
+
+    locations = sorted(elaborated.location_names)
+    edges = [(e.source, e.target) for e in elaborated.edges]
+    rows = [[source, target] for source, target in sorted(edges)]
+    has_risky_to_pumpin = ("Risky", "PumpIn") in edges
+    has_risky_to_pumpout = ("Risky", "PumpOut") in edges
+    egress_replicated = ("PumpOut", "Risky") in edges and ("PumpIn", "Risky") in edges
+    return ExperimentResult(
+        experiment="fig6",
+        title="Fig. 6: atomic elaboration of A at 'Fall-Back' with A'_vent",
+        headers=["edge source", "edge target"],
+        rows=rows,
+        notes=[f"child simple: {simple} {why}",
+               f"locations of the elaboration: {locations}",
+               "the paper highlights that no edge targets 'PumpIn' from 'Risky' because "
+               "'PumpIn' is not an initial location of A'_vent"],
+        checks={
+            "child_is_simple": simple,
+            "fallback_replaced": "Fall-Back" not in elaborated.location_names,
+            "child_locations_present": {"PumpOut", "PumpIn"} <= elaborated.location_names,
+            "ingress_redirected_to_initial": has_risky_to_pumpout,
+            "no_edge_to_non_initial_child_location": not has_risky_to_pumpin,
+            "egress_replicated_from_all_child_locations": egress_replicated,
+            "risky_partition_preserved": elaborated.risky_locations == {"Risky"},
+        },
+    )

@@ -1,0 +1,176 @@
+"""Structural analysis helpers for hybrid automata.
+
+The paper assumes every automaton is time-block-free and non-Zeno
+(Section IV-C, footnote 3).  Full verification of those properties is
+undecidable in general; this module provides the light-weight structural
+analyses the library actually needs:
+
+* discrete reachability of locations (ignoring guards), used to sanity
+  check generated pattern automata and elaborations;
+* detection of locations with a finite invariant horizon but no ASAP egress
+  edge (a structural hint of time blocking);
+* detection of potential Zeno cycles: cycles of ASAP edges whose guards do
+  not require any clock progress (structural heuristic).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Set
+
+from repro.hybrid.automaton import HybridAutomaton
+from repro.hybrid.expressions import (And, Comparison, LinearInequality, Or,
+                                      Predicate, TruePredicate)
+
+
+def reachable_locations(automaton: HybridAutomaton,
+                        start: str | None = None) -> Set[str]:
+    """Locations reachable from ``start`` through the discrete edge graph.
+
+    Guards and synchronization are ignored, so this is an over-approximation
+    of the reachable discrete state space -- sufficient for checking that a
+    generated automaton has no orphaned locations on its intended paths.
+    """
+    origin = start or automaton.initial_location
+    if origin is None:
+        return set()
+    frontier = [origin]
+    seen: Set[str] = {origin}
+    adjacency: Dict[str, List[str]] = {}
+    for edge in automaton.edges:
+        adjacency.setdefault(edge.source, []).append(edge.target)
+    while frontier:
+        location = frontier.pop()
+        for target in adjacency.get(location, []):
+            if target not in seen:
+                seen.add(target)
+                frontier.append(target)
+    return seen
+
+
+def unreachable_locations(automaton: HybridAutomaton) -> Set[str]:
+    """Locations that the discrete graph cannot reach from the initial one."""
+    return automaton.location_names - reachable_locations(automaton)
+
+
+def _requires_clock_progress(guard: Predicate) -> bool:
+    """Heuristic: does the guard require a clock to advance strictly above zero?
+
+    Used by the Zeno heuristic: a cycle all of whose edges can fire with all
+    clocks at zero may be traversed without letting time pass.
+    """
+    if isinstance(guard, LinearInequality):
+        if guard.op in (Comparison.GE, Comparison.GT):
+            return guard.threshold > 0
+        return False
+    if isinstance(guard, And):
+        return any(_requires_clock_progress(p) for p in guard.operands)
+    if isinstance(guard, Or):
+        return all(_requires_clock_progress(p) for p in guard.operands)
+    return False
+
+
+def potential_zeno_cycles(automaton: HybridAutomaton) -> List[List[str]]:
+    """Cycles made only of ASAP edges that require no clock progress.
+
+    Returns a list of location cycles (each as a list of location names).
+    An empty list means the structural heuristic found no Zeno risk; a
+    non-empty list is a warning, not a proof of Zeno behaviour.
+    """
+    adjacency: Dict[str, List[str]] = {}
+    for edge in automaton.edges:
+        if edge.is_event_triggered:
+            continue
+        if _requires_clock_progress(edge.guard):
+            continue
+        adjacency.setdefault(edge.source, []).append(edge.target)
+
+    cycles: List[List[str]] = []
+    visited: Set[str] = set()
+
+    def dfs(node: str, stack: List[str], on_stack: Set[str]) -> None:
+        visited.add(node)
+        stack.append(node)
+        on_stack.add(node)
+        for target in adjacency.get(node, []):
+            if target in on_stack:
+                index = stack.index(target)
+                cycles.append(stack[index:] + [target])
+            elif target not in visited:
+                dfs(target, stack, on_stack)
+        stack.pop()
+        on_stack.discard(node)
+
+    for location in automaton.locations:
+        if location not in visited:
+            dfs(location, [], set())
+    return cycles
+
+
+def locations_without_egress(automaton: HybridAutomaton) -> Set[str]:
+    """Locations with no outgoing edge at all (potential dead ends)."""
+    with_egress = {edge.source for edge in automaton.edges}
+    return automaton.location_names - with_egress
+
+
+def timeblock_suspects(automaton: HybridAutomaton) -> Set[str]:
+    """Locations whose invariant is bounded but that have no ASAP egress edge.
+
+    If a location's invariant forces the automaton to leave in finite time
+    but every outgoing edge waits for an event that might never arrive, an
+    execution could be forced to block time.  This is the structural signal
+    corresponding to the time-block-freedom assumption.
+    """
+    suspects: Set[str] = set()
+    for name, location in automaton.locations.items():
+        if isinstance(location.invariant, TruePredicate):
+            continue
+        has_asap = any(edge.is_asap for edge in automaton.edges_from(name))
+        if not has_asap:
+            suspects.add(name)
+    return suspects
+
+
+@dataclass
+class StructuralReport:
+    """Summary of the structural analyses for one automaton."""
+
+    automaton: str
+    n_locations: int
+    n_edges: int
+    n_risky: int
+    unreachable: Set[str] = field(default_factory=set)
+    dead_ends: Set[str] = field(default_factory=set)
+    zeno_cycles: List[List[str]] = field(default_factory=list)
+    timeblock: Set[str] = field(default_factory=set)
+
+    @property
+    def clean(self) -> bool:
+        """True when no structural warning was produced."""
+        return (not self.unreachable and not self.dead_ends
+                and not self.zeno_cycles and not self.timeblock)
+
+    def summary(self) -> str:
+        """One-line human readable summary."""
+        status = "clean" if self.clean else "warnings"
+        return (f"{self.automaton}: |V|={self.n_locations} |E|={self.n_edges} "
+                f"risky={self.n_risky} [{status}]")
+
+
+def analyze(automaton: HybridAutomaton) -> StructuralReport:
+    """Run every structural analysis on ``automaton`` and collect a report."""
+    return StructuralReport(
+        automaton=automaton.name,
+        n_locations=len(automaton.locations),
+        n_edges=len(automaton.edges),
+        n_risky=len(automaton.risky_locations),
+        unreachable=unreachable_locations(automaton),
+        dead_ends=locations_without_egress(automaton),
+        zeno_cycles=potential_zeno_cycles(automaton),
+        timeblock=timeblock_suspects(automaton),
+    )
+
+
+def analyze_system(automata: Iterable[HybridAutomaton]) -> List[StructuralReport]:
+    """Analyze several automata (e.g. every member of a hybrid system)."""
+    return [analyze(a) for a in automata]

@@ -1,0 +1,266 @@
+"""The elaboration methodology of Section IV-C.
+
+This module implements the three formal ingredients the paper uses to turn
+the abstract lease design pattern into concrete wireless CPS designs:
+
+* **Hybrid automata independence** (Definition 2): two automata are
+  independent iff they share no data state variables, no locations and no
+  synchronization labels.
+* **Simple hybrid automaton** (Definition 3): all locations share one
+  invariant, every data state in that invariant is initial for each initial
+  location, and the zero data state is initial.
+* **Atomic elaboration** ``E(A, v, A')``: replace location ``v`` of ``A``
+  with the whole automaton ``A'``; former ingress edges of ``v`` enter
+  ``A'``'s initial locations, former egress edges of ``v`` leave from every
+  location of ``A'``; inside ``A'`` the variables of ``A`` keep flowing as
+  they did in ``v``; outside ``A'`` the variables of ``A'`` are frozen.
+* **Parallel elaboration** ``E(A, (v1..vk), (A1..Ak))``: repeated atomic
+  elaboration at distinct locations with mutually independent children.
+
+Theorem 2 (implemented in :mod:`repro.core.compliance`) states that designs
+produced this way from the pattern automata inherit the PTE safety
+guarantee.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Sequence
+
+from repro.errors import ElaborationError, IndependenceError
+from repro.hybrid.automaton import HybridAutomaton
+from repro.hybrid.edges import Edge
+from repro.hybrid.flows import CompositeFlow, ConstantFlow
+from repro.hybrid.expressions import And, TRUE, TruePredicate
+from repro.hybrid.locations import Location
+
+
+def are_independent(a: HybridAutomaton, b: HybridAutomaton) -> bool:
+    """Return True when ``a`` and ``b`` are independent (Definition 2)."""
+    if set(a.variables) & set(b.variables):
+        return False
+    if a.location_names & b.location_names:
+        return False
+    if a.sync_labels() & b.sync_labels():
+        return False
+    return True
+
+
+def assert_independent(a: HybridAutomaton, b: HybridAutomaton) -> None:
+    """Raise :class:`IndependenceError` when ``a`` and ``b`` are not independent."""
+    shared_vars = set(a.variables) & set(b.variables)
+    if shared_vars:
+        raise IndependenceError(
+            f"automata {a.name!r} and {b.name!r} share data state variables "
+            f"{sorted(shared_vars)}")
+    shared_locations = a.location_names & b.location_names
+    if shared_locations:
+        raise IndependenceError(
+            f"automata {a.name!r} and {b.name!r} share locations {sorted(shared_locations)}")
+    shared_labels = a.sync_labels() & b.sync_labels()
+    if shared_labels:
+        raise IndependenceError(
+            f"automata {a.name!r} and {b.name!r} share synchronization labels "
+            f"{sorted(str(l) for l in shared_labels)}")
+
+
+def are_mutually_independent(automata: Sequence[HybridAutomaton]) -> bool:
+    """Return True when every pair of the given automata is independent."""
+    for i, first in enumerate(automata):
+        for second in automata[i + 1:]:
+            if not are_independent(first, second):
+                return False
+    return True
+
+
+def is_simple(automaton: HybridAutomaton) -> tuple[bool, str]:
+    """Check whether ``automaton`` is a *simple hybrid automaton* (Definition 3).
+
+    Returns:
+        ``(True, "")`` when simple, otherwise ``(False, reason)``.
+
+    The three defining conditions are checked structurally:
+
+    1. all locations share the same invariant (compared by ``repr`` since
+       predicates are value objects);
+    2. the initial-state set is the full invariant set over each initial
+       location -- structurally we require that the automaton does not
+       restrict its initial valuation beyond the shared invariant, which we
+       approximate by requiring the declared initial valuation to satisfy
+       the invariant (condition 3 makes the zero state initial, and the
+       library's automata expose a single configurable initial valuation);
+    3. the zero data state satisfies the shared invariant, so ``(v, 0)`` can
+       be an initial state.
+    """
+    invariants = {repr(loc.invariant) for loc in automaton.locations.values()}
+    if len(invariants) > 1:
+        return False, "locations have differing invariants"
+    if automaton.initial_location is None:
+        return False, "no initial location declared"
+    shared_invariant = automaton.location(automaton.initial_location).invariant
+    from repro.hybrid.variables import zero_valuation
+
+    if not shared_invariant.evaluate(zero_valuation(automaton.variables)):
+        return False, "the zero data state does not satisfy the shared invariant"
+    if not shared_invariant.evaluate(automaton.initial_valuation):
+        return False, "the initial valuation does not satisfy the shared invariant"
+    return True, ""
+
+
+def _conjoin(a, b):
+    """Conjoin two predicates, simplifying the TRUE cases."""
+    if isinstance(a, TruePredicate):
+        return b
+    if isinstance(b, TruePredicate):
+        return a
+    return And((a, b))
+
+
+def elaborate(parent: HybridAutomaton, location_name: str,
+              child: HybridAutomaton, *, name: str | None = None) -> HybridAutomaton:
+    """Atomic elaboration ``E(parent, location, child)`` (Section IV-C).
+
+    Args:
+        parent: The automaton being refined (e.g. the Participant pattern).
+        location_name: The parent location to replace (e.g. ``"Fall-Back"``).
+        child: A *simple* automaton independent from ``parent`` (e.g. the
+            stand-alone ventilator of Fig. 2).
+        name: Optional name for the result; defaults to
+            ``"{parent.name}+{child.name}"``.
+
+    Returns:
+        The elaborated automaton ``A''``.
+
+    Raises:
+        ElaborationError: If the location does not exist, the child is not
+            simple, or parent and child are not independent.
+    """
+    if location_name not in parent.locations:
+        raise ElaborationError(
+            f"automaton {parent.name!r} has no location {location_name!r} to elaborate")
+    simple, why = is_simple(child)
+    if not simple:
+        raise ElaborationError(
+            f"child automaton {child.name!r} is not simple: {why}")
+    try:
+        assert_independent(parent, child)
+    except IndependenceError as exc:
+        raise ElaborationError(str(exc)) from exc
+    if child.initial_location is None:
+        raise ElaborationError(f"child automaton {child.name!r} has no initial location")
+
+    elaborated_location = parent.location(location_name)
+    result = HybridAutomaton(
+        name or f"{parent.name}+{child.name}",
+        variables=list(parent.variables) + list(child.variables),
+        metadata={**parent.metadata,
+                  "elaborated_from": parent.name,
+                  "elaborations": tuple(parent.metadata.get("elaborations", ()))
+                  + ((location_name, child.name),)},
+    )
+
+    # 1. Copy every parent location except the elaborated one.  Outside the
+    #    child, the child's variables remain unchanged (their rates default
+    #    to zero because no flow drives them).
+    for loc in parent.locations.values():
+        if loc.name == location_name:
+            continue
+        result.add_location(loc)
+
+    # 2. Insert the child's locations.  Inside the child, the parent's
+    #    variables keep the continuous behaviour of the elaborated location
+    #    (rule 4), so each child location's flow is composed with the
+    #    elaborated location's flow; the invariant is the conjunction.
+    for loc in child.locations.values():
+        combined_flow = CompositeFlow((elaborated_location.flow, loc.flow))
+        combined_invariant = _conjoin(elaborated_location.invariant, loc.invariant)
+        result.add_location(Location(
+            name=loc.name,
+            invariant=combined_invariant,
+            flow=combined_flow,
+            risky=elaborated_location.risky,
+            metadata={**loc.metadata, "elaborates": location_name},
+        ))
+
+    # 3. Parent edges: ingress edges to the elaborated location are redirected
+    #    to the child's initial location; egress edges are replicated from
+    #    every child location; other edges are copied verbatim.
+    child_initial = child.initial_location
+    for edge in parent.edges:
+        touches_source = edge.source == location_name
+        touches_target = edge.target == location_name
+        if not touches_source and not touches_target:
+            result.add_edge(edge)
+            continue
+        if touches_target and not touches_source:
+            result.add_edge(edge.retargeted(target=child_initial))
+            continue
+        if touches_source and not touches_target:
+            for child_loc in child.locations:
+                result.add_edge(edge.retargeted(source=child_loc))
+            continue
+        # Self-loop on the elaborated location: re-enter at the initial
+        # location of the child from every child location.
+        for child_loc in child.locations:
+            result.add_edge(edge.retargeted(source=child_loc, target=child_initial))
+
+    # 4. Child edges are copied verbatim (they only involve child locations).
+    for edge in child.edges:
+        result.add_edge(edge)
+
+    # 5. Initial state: if the parent started in the elaborated location the
+    #    result starts in the child's initial location, else unchanged.  The
+    #    initial valuation is the union of both initial valuations.
+    if parent.initial_location == location_name:
+        result.initial_location = child_initial
+    else:
+        result.initial_location = parent.initial_location
+    merged_initial = parent.initial_valuation.as_dict()
+    merged_initial.update(child.initial_valuation.as_dict())
+    result.initial_valuation = merged_initial
+    result.validate()
+    return result
+
+
+def elaborate_parallel(parent: HybridAutomaton,
+                       locations: Sequence[str],
+                       children: Sequence[HybridAutomaton],
+                       *, name: str | None = None) -> HybridAutomaton:
+    """Parallel elaboration ``E(parent, (v1..vk), (A1..Ak))``.
+
+    Elaborates ``parent`` at each location ``locations[i]`` with
+    ``children[i]``, in order, exactly as the paper defines parallel
+    elaboration as repeated atomic elaboration.
+
+    Raises:
+        ElaborationError: If the argument lists have different lengths, if
+            the locations are not distinct, or if the children (plus parent)
+            are not mutually independent.
+    """
+    if len(locations) != len(children):
+        raise ElaborationError(
+            "parallel elaboration requires as many child automata as locations")
+    if len(set(locations)) != len(locations):
+        raise ElaborationError("parallel elaboration requires distinct locations")
+    everyone = [parent, *children]
+    for i, first in enumerate(everyone):
+        for second in everyone[i + 1:]:
+            try:
+                assert_independent(first, second)
+            except IndependenceError as exc:
+                raise ElaborationError(str(exc)) from exc
+    current = parent
+    for location_name, child in zip(locations, children):
+        current = elaborate(current, location_name, child, name=name)
+    if name is not None:
+        current.name = name
+    return current
+
+
+def elaboration_history(automaton: HybridAutomaton) -> tuple[tuple[str, str], ...]:
+    """Return the ``(location, child)`` pairs applied to build ``automaton``.
+
+    The elaboration operator records its steps in the result's metadata;
+    Theorem 2 compliance checking uses this record.
+    """
+    return tuple(automaton.metadata.get("elaborations", ()))

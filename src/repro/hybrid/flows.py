@@ -1,0 +1,209 @@
+"""Flow maps: the continuous dynamics of a location (paper Section II-A, item 4).
+
+Each location ``v`` of a hybrid automaton has a flow map ``f_v`` defining
+differential equations ``x' = f_v(x)`` over the data state variables.  Two
+families of flows are supported:
+
+* :class:`ConstantFlow` -- every variable has a constant derivative.  This
+  covers all clocks of the lease design pattern (rate 1), frozen physical
+  variables (rate 0) and the piecewise-constant ventilator cylinder motion
+  of Fig. 2 (rate +-0.1 m/s).  Constant flows admit exact guard-crossing
+  times, so the simulator never discretizes them.
+* :class:`CallableFlow` -- an arbitrary ODE right-hand side, integrated with
+  explicit fixed sub-steps (RK4).  Used for the patient SpO2 physiology in
+  the laser-tracheotomy case study.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Mapping
+
+from repro.hybrid.variables import Valuation
+
+
+class Flow:
+    """Base class of flow maps."""
+
+    #: Whether the flow has constant derivatives (affine-in-time solutions).
+    is_affine: bool = False
+
+    def rates(self, valuation: Valuation) -> Dict[str, float]:
+        """Return the instantaneous derivative of each driven variable."""
+        raise NotImplementedError
+
+    def advance(self, valuation: Valuation, dt: float) -> Valuation:
+        """Return the valuation after flowing for ``dt`` seconds."""
+        raise NotImplementedError
+
+    def driven_variables(self) -> set[str]:
+        """Names of variables whose derivative may be non-zero."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class ConstantFlow(Flow):
+    """A flow with constant derivative for each listed variable.
+
+    Variables not listed implicitly have derivative zero ("remain
+    unchanged"), which is exactly the behaviour required for the variables
+    of a child automaton while control is outside of it (elaboration rule 5
+    in Section IV-C).
+    """
+
+    derivatives: Mapping[str, float] = field(default_factory=dict)
+    is_affine: bool = True
+
+    def __init__(self, derivatives: Mapping[str, float] | None = None):
+        object.__setattr__(self, "derivatives",
+                           dict(derivatives or {}))
+        object.__setattr__(self, "is_affine", True)
+
+    def rates(self, valuation: Valuation) -> Dict[str, float]:
+        return dict(self.derivatives)
+
+    def advance(self, valuation: Valuation, dt: float) -> Valuation:
+        return valuation.advanced(self.derivatives, dt)
+
+    def driven_variables(self) -> set[str]:
+        return {name for name, rate in self.derivatives.items() if rate != 0.0}
+
+    def merged_with(self, other: "ConstantFlow") -> "ConstantFlow":
+        """Combine two constant flows over disjoint variable sets."""
+        merged = dict(self.derivatives)
+        for name, rate in other.derivatives.items():
+            if name in merged and merged[name] != rate:
+                raise ValueError(
+                    f"conflicting derivatives for variable {name!r}: "
+                    f"{merged[name]} vs {rate}")
+            merged[name] = rate
+        return ConstantFlow(merged)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"d{k}/dt={v:g}" for k, v in sorted(self.derivatives.items()))
+        return f"ConstantFlow({inner})" if inner else "ConstantFlow(stationary)"
+
+
+#: A flow where nothing moves; used as the default location flow.
+STATIONARY = ConstantFlow({})
+
+
+def clock_flow(*clock_names: str, extra: Mapping[str, float] | None = None) -> ConstantFlow:
+    """Build a flow where each named clock advances at rate 1.
+
+    Args:
+        clock_names: Clock variables that progress at unit rate.
+        extra: Additional constant derivatives to merge in.
+    """
+    derivatives: Dict[str, float] = {name: 1.0 for name in clock_names}
+    if extra:
+        derivatives.update(extra)
+    return ConstantFlow(derivatives)
+
+
+@dataclass(frozen=True)
+class CallableFlow(Flow):
+    """A flow defined by an arbitrary ODE right-hand side.
+
+    Args:
+        func: Callable mapping a :class:`Valuation` to a dict of
+            derivatives for the driven variables.
+        variables: The set of variables driven by ``func`` (needed for
+            structural checks and elaboration).
+        description: Human-readable description for diagnostics.
+        substep: Integration sub-step (seconds) used by :meth:`advance`.
+    """
+
+    func: Callable[[Valuation], Mapping[str, float]]
+    variables: tuple[str, ...]
+    description: str = "<ode>"
+    substep: float = 0.01
+    is_affine: bool = False
+
+    def __init__(self, func, variables, description="<ode>", substep=0.01):
+        object.__setattr__(self, "func", func)
+        object.__setattr__(self, "variables", tuple(variables))
+        object.__setattr__(self, "description", description)
+        object.__setattr__(self, "substep", float(substep))
+        object.__setattr__(self, "is_affine", False)
+
+    def rates(self, valuation: Valuation) -> Dict[str, float]:
+        return {k: float(v) for k, v in self.func(valuation).items()}
+
+    def driven_variables(self) -> set[str]:
+        return set(self.variables)
+
+    def advance(self, valuation: Valuation, dt: float) -> Valuation:
+        """Integrate the ODE for ``dt`` seconds with classic RK4 sub-steps."""
+        if dt <= 0:
+            return valuation
+        remaining = dt
+        current = valuation
+        while remaining > 1e-12:
+            h = min(self.substep, remaining)
+            current = self._rk4_step(current, h)
+            remaining -= h
+        return current
+
+    def _rk4_step(self, valuation: Valuation, h: float) -> Valuation:
+        k1 = self.rates(valuation)
+        k2 = self.rates(valuation.advanced(k1, h / 2.0))
+        k3 = self.rates(valuation.advanced(k2, h / 2.0))
+        k4 = self.rates(valuation.advanced(k3, h))
+        combined = {}
+        for name in self.variables:
+            combined[name] = (k1.get(name, 0.0) + 2.0 * k2.get(name, 0.0)
+                              + 2.0 * k3.get(name, 0.0) + k4.get(name, 0.0)) / 6.0
+        return valuation.advanced(combined, h)
+
+    def __repr__(self) -> str:
+        return f"CallableFlow({self.description}, vars={list(self.variables)})"
+
+
+@dataclass(frozen=True)
+class CompositeFlow(Flow):
+    """The union of several flows over disjoint variable sets.
+
+    Produced by the elaboration operator: inside a child-automaton location,
+    the parent's variables keep flowing according to the elaborated
+    location's flow while the child's variables follow the child's flow.
+    """
+
+    parts: tuple[Flow, ...]
+
+    def __init__(self, parts):
+        flattened: list[Flow] = []
+        for part in parts:
+            if isinstance(part, CompositeFlow):
+                flattened.extend(part.parts)
+            else:
+                flattened.append(part)
+        object.__setattr__(self, "parts", tuple(flattened))
+
+    @property
+    def is_affine(self) -> bool:  # type: ignore[override]
+        return all(part.is_affine for part in self.parts)
+
+    def rates(self, valuation: Valuation) -> Dict[str, float]:
+        merged: Dict[str, float] = {}
+        for part in self.parts:
+            for name, rate in part.rates(valuation).items():
+                merged[name] = rate
+        return merged
+
+    def driven_variables(self) -> set[str]:
+        driven: set[str] = set()
+        for part in self.parts:
+            driven |= part.driven_variables()
+        return driven
+
+    def advance(self, valuation: Valuation, dt: float) -> Valuation:
+        if self.is_affine:
+            return valuation.advanced(self.rates(valuation), dt)
+        current = valuation
+        for part in self.parts:
+            current = part.advance(current, dt)
+        return current
+
+    def __repr__(self) -> str:
+        return f"CompositeFlow({list(self.parts)!r})"

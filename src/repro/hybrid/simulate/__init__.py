@@ -1,0 +1,19 @@
+"""Simulation engine for hybrid systems (event-driven with exact clock crossings)."""
+
+from repro.hybrid.simulate.engine import Network, PerfectNetwork, SimulationEngine, simulate
+from repro.hybrid.simulate.processes import (CallbackProcess, Coupling, EnvironmentProcess,
+                                             FunctionCoupling, LocationIndicatorCoupling,
+                                             VariableCopyCoupling)
+
+__all__ = [
+    "SimulationEngine",
+    "simulate",
+    "Network",
+    "PerfectNetwork",
+    "EnvironmentProcess",
+    "CallbackProcess",
+    "Coupling",
+    "FunctionCoupling",
+    "LocationIndicatorCoupling",
+    "VariableCopyCoupling",
+]

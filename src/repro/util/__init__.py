@@ -1,0 +1,16 @@
+"""Small shared utilities (RNG handling, formatting, time helpers)."""
+
+from repro.util.seeding import SeedSequenceFactory, spawn_rng
+from repro.util.tables import format_table
+from repro.util.timebase import TimePoint, almost_equal, almost_leq, almost_geq, EPSILON
+
+__all__ = [
+    "SeedSequenceFactory",
+    "spawn_rng",
+    "format_table",
+    "TimePoint",
+    "almost_equal",
+    "almost_leq",
+    "almost_geq",
+    "EPSILON",
+]

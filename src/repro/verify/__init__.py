@@ -1,0 +1,18 @@
+"""Simulation-based verification harness (fault-injection campaigns)."""
+
+from repro.verify.explorer import (CampaignSettings, compare_lease_vs_baseline,
+                                   run_case_study_campaign)
+from repro.verify.faults import FaultScenario, blackout_scenario, standard_fault_scenarios
+from repro.verify.properties import (PropertyResult, TraceProperty, auto_reset_property,
+                                     bounded_dwelling_property, pte_safety_property,
+                                     single_risky_visit_per_round_property)
+from repro.verify.report import CampaignReport, TrialRecord
+
+__all__ = [
+    "CampaignSettings", "run_case_study_campaign", "compare_lease_vs_baseline",
+    "FaultScenario", "standard_fault_scenarios", "blackout_scenario",
+    "TraceProperty", "PropertyResult", "pte_safety_property",
+    "bounded_dwelling_property", "auto_reset_property",
+    "single_risky_visit_per_round_property",
+    "CampaignReport", "TrialRecord",
+]

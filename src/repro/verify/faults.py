@@ -1,0 +1,77 @@
+"""Fault-injection descriptions for verification campaigns.
+
+The paper's fault model allows *arbitrary* loss of wireless events.  A
+verification campaign therefore sweeps a family of loss processes -- from
+light memoryless loss to near-total blackouts and adversarially placed loss
+windows -- and checks that the PTE safety properties hold under every one
+of them (for the lease-based design) while documenting how the no-lease
+baseline degrades.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+from repro.wireless.channel import (BernoulliChannel, Channel, GilbertElliottChannel,
+                                    LossWindow, PerfectChannel, ScriptedChannel)
+
+
+@dataclass(frozen=True)
+class FaultScenario:
+    """One loss process used by a verification campaign."""
+
+    name: str
+    description: str
+    make_channel_kwargs: dict = field(default_factory=dict)
+    kind: str = "bernoulli"
+
+    def build_channel(self, seed: int | None = None) -> Channel:
+        """Instantiate the scenario's channel with the given seed."""
+        if self.kind == "perfect":
+            return PerfectChannel()
+        if self.kind == "bernoulli":
+            return BernoulliChannel(seed=seed, **self.make_channel_kwargs)
+        if self.kind == "gilbert":
+            return GilbertElliottChannel(seed=seed, **self.make_channel_kwargs)
+        if self.kind == "scripted":
+            windows = [LossWindow(*w) for w in self.make_channel_kwargs.get("windows", [])]
+            return ScriptedChannel(windows)
+        raise ValueError(f"unknown fault scenario kind {self.kind!r}")
+
+
+def standard_fault_scenarios(*, include_perfect: bool = True,
+                             loss_levels: Sequence[float] = (0.1, 0.3, 0.5, 0.8),
+                             burst_levels: Sequence[tuple[float, float]] = ((300.0, 30.0),
+                                                                            (120.0, 60.0))
+                             ) -> List[FaultScenario]:
+    """The default family of loss processes swept by campaigns.
+
+    Args:
+        include_perfect: Include the lossless control condition.
+        loss_levels: Memoryless loss probabilities to sweep.
+        burst_levels: ``(mean_good, mean_bad)`` pairs for burst-loss channels.
+    """
+    scenarios: List[FaultScenario] = []
+    if include_perfect:
+        scenarios.append(FaultScenario("perfect", "no losses", kind="perfect"))
+    for p in loss_levels:
+        scenarios.append(FaultScenario(
+            f"bernoulli-{int(round(p * 100))}",
+            f"memoryless loss with probability {p:g}",
+            {"loss_probability": p}, kind="bernoulli"))
+    for good, bad in burst_levels:
+        scenarios.append(FaultScenario(
+            f"burst-{int(good)}-{int(bad)}",
+            f"burst loss: good ~{good:g}s (5% loss), bad ~{bad:g}s (95% loss)",
+            {"mean_good_duration": good, "mean_bad_duration": bad,
+             "loss_good": 0.05, "loss_bad": 0.95}, kind="gilbert"))
+    return scenarios
+
+
+def blackout_scenario(start: float, end: float, name: str | None = None) -> FaultScenario:
+    """A deterministic total blackout of the wireless network in ``[start, end]``."""
+    return FaultScenario(
+        name or f"blackout-{int(start)}-{int(end)}",
+        f"every wireless packet sent during [{start:g}s, {end:g}s] is lost",
+        {"windows": [(start, end)]}, kind="scripted")

@@ -1,0 +1,79 @@
+"""Verification campaign reports."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.verify.properties import PropertyResult
+
+
+@dataclass(frozen=True)
+class TrialRecord:
+    """Outcome of one campaign trial (one seed under one fault scenario)."""
+
+    scenario: str
+    seed: int
+    properties: tuple[PropertyResult, ...]
+    observed_loss_ratio: float
+
+    @property
+    def passed(self) -> bool:
+        """True when every property held in this trial."""
+        return all(result.holds for result in self.properties)
+
+    def failed_properties(self) -> List[PropertyResult]:
+        """The properties that did not hold in this trial."""
+        return [result for result in self.properties if not result.holds]
+
+
+@dataclass
+class CampaignReport:
+    """Aggregated outcome of a verification campaign."""
+
+    trials: List[TrialRecord] = field(default_factory=list)
+
+    def add(self, record: TrialRecord) -> None:
+        """Append one trial record."""
+        self.trials.append(record)
+
+    @property
+    def total_trials(self) -> int:
+        """Number of trials executed."""
+        return len(self.trials)
+
+    @property
+    def failures(self) -> List[TrialRecord]:
+        """Trials in which at least one property failed."""
+        return [t for t in self.trials if not t.passed]
+
+    @property
+    def all_passed(self) -> bool:
+        """True when every property held in every trial."""
+        return not self.failures
+
+    def pass_rate(self) -> float:
+        """Fraction of trials in which every property held."""
+        if not self.trials:
+            return 1.0
+        return 1.0 - len(self.failures) / len(self.trials)
+
+    def by_scenario(self) -> Dict[str, tuple[int, int]]:
+        """Per-scenario ``(passed, total)`` counts."""
+        counts: Dict[str, tuple[int, int]] = {}
+        for trial in self.trials:
+            passed, total = counts.get(trial.scenario, (0, 0))
+            counts[trial.scenario] = (passed + (1 if trial.passed else 0), total + 1)
+        return counts
+
+    def summary(self) -> str:
+        """Human-readable multi-line summary of the campaign."""
+        lines = [f"verification campaign: {self.total_trials} trial(s), "
+                 f"pass rate {self.pass_rate() * 100:.1f}%"]
+        for scenario, (passed, total) in sorted(self.by_scenario().items()):
+            lines.append(f"  {scenario}: {passed}/{total} passed")
+        for failure in self.failures[:10]:
+            for prop in failure.failed_properties():
+                lines.append(f"  FAILED {failure.scenario} seed={failure.seed}: "
+                             f"{prop.name}: {prop.detail}")
+        return "\n".join(lines)

@@ -1,0 +1,167 @@
+"""Tests for the laser-tracheotomy case-study components and trials."""
+
+import pytest
+
+from repro.casestudy import (CaseStudyConfig, EMITTING_LOCATION, LASER, PATIENT, SPO2,
+                             SUPERVISOR, VENTILATOR, build_case_study, build_patient,
+                             build_standalone_ventilator, build_ventilator,
+                             build_laser, lease_ledger_from_trace, run_trial,
+                             time_to_threshold, ventilating_locations,
+                             CYLINDER_HEIGHT, CYLINDER_TOP)
+from repro.casestudy.config import PatientModel, SurgeonModel
+from repro.casestudy.surgeon import ScriptedSurgeon, SurgeonProcess
+from repro.core import laser_tracheotomy_configuration
+from repro.core.leases import LeaseOutcome
+from repro.hybrid import HybridSystem, SimulationEngine
+from repro.wireless import PerfectChannel, ScriptedChannel
+
+CONFIG = CaseStudyConfig()
+PATTERN = laser_tracheotomy_configuration()
+
+
+class TestVentilator:
+    def test_standalone_trajectory_is_triangle_wave(self):
+        ventilator = build_standalone_ventilator()
+        system = HybridSystem()
+        system.add(ventilator)
+        engine = SimulationEngine(system,
+                                  record_variables=[(ventilator.name, CYLINDER_HEIGHT)],
+                                  sample_interval=0.1)
+        trace = engine.run(12.0)
+        _, values = trace.series(ventilator.name, CYLINDER_HEIGHT)
+        assert max(values) <= CYLINDER_TOP + 1e-9
+        assert min(values) >= -1e-9
+        # Full stroke takes 3 s each way -> 4 turnarounds in 12 s.
+        assert len(trace.transitions_of(ventilator.name)) == 4
+
+    def test_invalid_initial_height_rejected(self):
+        with pytest.raises(ValueError):
+            build_standalone_ventilator(initial_height=1.0)
+
+    def test_elaborated_ventilator_pumps_only_in_fallback(self):
+        ventilator = build_ventilator(PATTERN)
+        assert ventilating_locations(ventilator) == {"PumpOut", "PumpIn"}
+        # Outside the elaborated Fall-Back the cylinder must be frozen.
+        rates = ventilator.location("xi1.Risky Core").flow.rates(
+            ventilator.initial_valuation)
+        assert rates.get(CYLINDER_HEIGHT, 0.0) == 0.0
+        # Inside the elaboration the clock and the cylinder both flow.
+        pump_rates = ventilator.location("PumpOut").flow.rates(ventilator.initial_valuation)
+        assert pump_rates["c_xi1"] == pytest.approx(1.0)
+        assert pump_rates[CYLINDER_HEIGHT] == pytest.approx(-0.1)
+
+    def test_baseline_ventilator_has_no_lease(self):
+        ventilator = build_ventilator(PATTERN, lease_enabled=False)
+        assert all(e.reason != "lease_expiry" for e in ventilator.edges)
+
+
+class TestPatientAndSurgeon:
+    def test_spo2_desaturates_without_ventilation(self):
+        model = PatientModel()
+        patient = build_patient(model)
+        patient.initial_valuation = {SPO2: model.initial_spo2, "ventilated": 0.0}
+        system = HybridSystem()
+        system.add(patient)
+        engine = SimulationEngine(system, dt_max=0.1)
+        engine.run(30.0)
+        final = engine.state.value_of(PATIENT, SPO2)
+        assert final < model.initial_spo2
+        assert final == pytest.approx(model.initial_spo2 - 30.0 * model.desaturation_rate,
+                                      abs=0.5)
+
+    def test_time_to_threshold(self):
+        model = PatientModel()
+        assert time_to_threshold(model) == pytest.approx(
+            (model.spo2_baseline - model.spo2_threshold) / model.desaturation_rate)
+        assert time_to_threshold(model, from_spo2=model.spo2_threshold) == 0.0
+
+    def test_patient_model_validation(self):
+        with pytest.raises(ValueError):
+            PatientModel(spo2_threshold=60.0)
+        with pytest.raises(ValueError):
+            SurgeonModel(mean_ton=0.0)
+
+    def test_scripted_surgeon_counts_actions(self):
+        # The request must come after the supervisor's T_fb_min = 13 s dwell,
+        # otherwise it is ignored and no emission happens.
+        surgeon = ScriptedSurgeon(requests_at=[14.0], cancels_at=[40.0])
+        result = run_trial(CONFIG, with_lease=True, seed=1, duration=80.0,
+                           channel=PerfectChannel(), surgeon=surgeon)
+        assert surgeon.requests_issued == 1
+        assert surgeon.cancels_issued == 1
+        assert result.laser_emissions == 1
+
+    def test_random_surgeon_respects_fallback_gating(self):
+        surgeon = SurgeonProcess(SurgeonModel(mean_ton=5.0, mean_toff=5.0),
+                                 laser_name=LASER, seed=4)
+        result = run_trial(CONFIG, with_lease=True, seed=4, duration=300.0,
+                           channel=PerfectChannel(), surgeon=surgeon, keep_trace=True)
+        # Requests are only issued while the laser dwells in Fall-Back, so the
+        # number of "Requesting" entries equals the number of issued requests.
+        requesting_entries = result.trace.count_entries(LASER, "xi2.Requesting")
+        assert requesting_entries == surgeon.requests_issued > 0
+
+
+class TestTrials:
+    def test_lossless_trial_is_safe_and_emits(self):
+        result = run_trial(CONFIG, with_lease=True, seed=2, duration=300.0,
+                           channel=PerfectChannel())
+        assert result.failures == 0
+        assert result.laser_emissions > 0
+        assert result.max_pause_duration <= CONFIG.dwelling_bound
+        assert result.observed_loss_ratio == 0.0
+
+    def test_with_lease_trial_under_interference_is_safe(self):
+        result = run_trial(CONFIG, with_lease=True, seed=5, duration=600.0)
+        assert result.failures == 0
+        assert result.max_pause_duration <= CONFIG.dwelling_bound + 1e-6
+
+    def test_without_lease_trial_under_blackout_fails(self):
+        # A long blackout right after the first emission starts: the no-lease
+        # design cannot stop the ventilator pause in time.
+        surgeon = ScriptedSurgeon(requests_at=[14.0], cancels_at=[40.0])
+        channel = ScriptedChannel([(20.0, 400.0)])
+        result = run_trial(CONFIG, with_lease=False, seed=3, duration=400.0,
+                           channel=channel, surgeon=surgeon)
+        assert result.failures > 0
+        assert result.max_pause_duration > CONFIG.dwelling_bound
+
+    def test_with_lease_trial_under_same_blackout_is_safe(self):
+        # The surgeon never cancels, so only the lease can stop the emission.
+        surgeon = ScriptedSurgeon(requests_at=[14.0])
+        channel = ScriptedChannel([(20.0, 400.0)])
+        result = run_trial(CONFIG, with_lease=True, seed=3, duration=400.0,
+                           channel=channel, surgeon=surgeon)
+        assert result.failures == 0
+        assert result.evt_to_stop >= 1  # the lease had to stop the laser
+
+    def test_lease_ledger_reconstruction(self):
+        surgeon = ScriptedSurgeon(requests_at=[14.0], cancels_at=[40.0])
+        result = run_trial(CONFIG, with_lease=True, seed=1, duration=120.0,
+                           channel=PerfectChannel(), surgeon=surgeon, keep_trace=True)
+        ledger = lease_ledger_from_trace(result.trace, CONFIG)
+        laser_leases = ledger.of(LASER)
+        vent_leases = ledger.of(VENTILATOR)
+        assert len(laser_leases) == 1 and len(vent_leases) == 1
+        assert laser_leases[0].outcome is LeaseOutcome.COMPLETED
+        assert ledger.overruns() == 0
+
+    def test_supervisor_aborts_on_low_spo2(self):
+        # Make the patient desaturate very fast so the supervisor must abort
+        # the round while the laser is still emitting.
+        fast_desat = CaseStudyConfig(patient=PatientModel(desaturation_rate=0.8))
+        surgeon = ScriptedSurgeon(requests_at=[14.0])
+        result = run_trial(fast_desat, with_lease=True, seed=1, duration=120.0,
+                           channel=PerfectChannel(), surgeon=surgeon, keep_trace=True)
+        assert result.supervisor_aborts >= 1
+        assert result.failures == 0
+        aborted = result.trace.transitions_of(LASER, reason="abort")
+        assert aborted, "the laser should have been aborted by the supervisor"
+
+    def test_case_study_system_wiring(self):
+        case = build_case_study(CONFIG, with_lease=True, seed=0)
+        assert set(a.name for a in case.system) == {SUPERVISOR, VENTILATOR, LASER, PATIENT}
+        assert case.network.base_station == SUPERVISOR
+        assert set(case.network.remote_entities) == {VENTILATOR, LASER}
+        assert case.system.dangling_receive_roots() == {
+            case.surgeon._cmd_request, case.surgeon._cmd_cancel}

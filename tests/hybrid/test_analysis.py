@@ -1,0 +1,76 @@
+"""Tests for the structural analysis helpers."""
+
+from repro.core import laser_tracheotomy_configuration, build_pattern_system
+from repro.hybrid import Edge, HybridAutomaton, Location, clock_flow, var_ge, var_le
+from repro.hybrid.analysis import (analyze, analyze_system, locations_without_egress,
+                                   potential_zeno_cycles, reachable_locations,
+                                   timeblock_suspects, unreachable_locations)
+
+
+def chain_automaton() -> HybridAutomaton:
+    automaton = HybridAutomaton("chain", variables=["c"])
+    for name in ("chain.A", "chain.B", "chain.C", "chain.Orphan"):
+        automaton.add_location(Location(name, flow=clock_flow("c")))
+    automaton.initial_location = "chain.A"
+    automaton.add_edge(Edge("chain.A", "chain.B", guard=var_ge("c", 1.0)))
+    automaton.add_edge(Edge("chain.B", "chain.C", guard=var_ge("c", 2.0)))
+    return automaton
+
+
+class TestReachability:
+    def test_reachable_set(self):
+        assert reachable_locations(chain_automaton()) == {"chain.A", "chain.B", "chain.C"}
+
+    def test_unreachable_set(self):
+        assert unreachable_locations(chain_automaton()) == {"chain.Orphan"}
+
+    def test_dead_ends(self):
+        assert locations_without_egress(chain_automaton()) == {"chain.C", "chain.Orphan"}
+
+
+class TestZenoHeuristic:
+    def test_instantaneous_cycle_flagged(self):
+        automaton = HybridAutomaton("z", variables=["c"])
+        automaton.add_location(Location("z.A", flow=clock_flow("c")))
+        automaton.add_location(Location("z.B", flow=clock_flow("c")))
+        automaton.initial_location = "z.A"
+        automaton.add_edge(Edge("z.A", "z.B"))
+        automaton.add_edge(Edge("z.B", "z.A"))
+        assert potential_zeno_cycles(automaton)
+
+    def test_clocked_cycle_not_flagged(self):
+        automaton = HybridAutomaton("ok", variables=["c"])
+        automaton.add_location(Location("ok.A", flow=clock_flow("c")))
+        automaton.add_location(Location("ok.B", flow=clock_flow("c")))
+        automaton.initial_location = "ok.A"
+        automaton.add_edge(Edge("ok.A", "ok.B", guard=var_ge("c", 1.0)))
+        automaton.add_edge(Edge("ok.B", "ok.A", guard=var_ge("c", 1.0)))
+        assert potential_zeno_cycles(automaton) == []
+
+
+class TestTimeblockHeuristic:
+    def test_bounded_invariant_without_asap_egress_flagged(self):
+        automaton = HybridAutomaton("tb", variables=["c"])
+        automaton.add_location(Location("tb.A", flow=clock_flow("c"),
+                                        invariant=var_le("c", 5.0)))
+        automaton.add_location(Location("tb.B", flow=clock_flow("c")))
+        automaton.initial_location = "tb.A"
+        from repro.hybrid import receive_lossy
+        automaton.add_edge(Edge("tb.A", "tb.B", trigger=receive_lossy("maybe")))
+        assert timeblock_suspects(automaton) == {"tb.A"}
+
+
+class TestPatternStructure:
+    def test_pattern_automata_are_structurally_clean(self):
+        pattern = build_pattern_system(laser_tracheotomy_configuration())
+        for report in analyze_system(pattern.system):
+            assert not report.unreachable, report.summary()
+            assert not report.dead_ends, report.summary()
+            assert not report.zeno_cycles, report.summary()
+            assert not report.timeblock, report.summary()
+            assert report.clean
+
+    def test_report_summary_mentions_counts(self):
+        pattern = build_pattern_system(laser_tracheotomy_configuration())
+        report = analyze(pattern.supervisor)
+        assert "|V|=" in report.summary() and "clean" in report.summary()

@@ -1,0 +1,165 @@
+"""Tests for Definition 2/3 and the elaboration operator E(A, v, A')."""
+
+import pytest
+
+from repro.casestudy.ventilator import build_standalone_ventilator
+from repro.errors import ElaborationError
+from repro.experiments.fig_elaboration import build_fig6_parent
+from repro.hybrid import (Edge, HybridAutomaton, HybridSystem, Location, SimulationEngine,
+                          are_independent, are_mutually_independent, elaborate,
+                          elaborate_parallel, elaboration_history, is_simple, var_ge,
+                          clock_flow)
+from repro.hybrid.flows import ConstantFlow
+
+
+class TestIndependence:
+    def test_independent_automata(self):
+        parent = build_fig6_parent()
+        child = build_standalone_ventilator()
+        assert are_independent(parent, child)
+
+    def test_shared_variable_breaks_independence(self):
+        a = HybridAutomaton("a", variables=["x"], locations=[Location("a.L")],
+                            initial_location="a.L")
+        b = HybridAutomaton("b", variables=["x"], locations=[Location("b.L")],
+                            initial_location="b.L")
+        assert not are_independent(a, b)
+
+    def test_shared_location_breaks_independence(self):
+        a = HybridAutomaton("a", locations=[Location("shared")], initial_location="shared")
+        b = HybridAutomaton("b", locations=[Location("shared")], initial_location="shared")
+        assert not are_independent(a, b)
+
+    def test_shared_label_breaks_independence(self):
+        a = HybridAutomaton("a", locations=[Location("a.L")], initial_location="a.L")
+        a.add_edge(Edge("a.L", "a.L", emits=["evt"]))
+        b = HybridAutomaton("b", locations=[Location("b.L")], initial_location="b.L")
+        b.add_edge(Edge("b.L", "b.L", emits=["evt"]))
+        assert not are_independent(a, b)
+
+    def test_mutual_independence(self):
+        autos = [build_standalone_ventilator(name=f"v{i}") for i in range(3)]
+        # They all share the same variable/location names -> not independent.
+        assert not are_mutually_independent(autos)
+        assert are_mutually_independent([build_fig6_parent(), build_standalone_ventilator()])
+
+
+class TestSimplicity:
+    def test_ventilator_is_simple(self):
+        simple, why = is_simple(build_standalone_ventilator())
+        assert simple, why
+
+    def test_differing_invariants_not_simple(self):
+        automaton = HybridAutomaton("ns", variables=["x"])
+        automaton.add_location(Location("ns.A", invariant=var_ge("x", 0.0)))
+        automaton.add_location(Location("ns.B"))
+        automaton.initial_location = "ns.A"
+        simple, why = is_simple(automaton)
+        assert not simple and "invariant" in why
+
+
+class TestAtomicElaboration:
+    def test_fig6_structure(self):
+        parent = build_fig6_parent()
+        child = build_standalone_ventilator()
+        result = elaborate(parent, "Fall-Back", child)
+        assert result.location_names == {"Risky", "PumpOut", "PumpIn"}
+        edges = {(e.source, e.target) for e in result.edges}
+        assert ("Risky", "PumpOut") in edges          # ingress redirected to initial
+        assert ("Risky", "PumpIn") not in edges       # not an initial location
+        assert ("PumpOut", "Risky") in edges and ("PumpIn", "Risky") in edges
+        assert ("PumpOut", "PumpIn") in edges and ("PumpIn", "PumpOut") in edges
+        assert result.initial_location == "PumpOut"
+        assert elaboration_history(result) == (("Fall-Back", child.name),)
+
+    def test_parent_variables_keep_flowing_inside_child(self):
+        parent = build_fig6_parent()
+        child = build_standalone_ventilator()
+        result = elaborate(parent, "Fall-Back", child)
+        rates = result.location("PumpOut").flow.rates(result.initial_valuation)
+        assert rates["x"] == pytest.approx(1.0)       # parent flow preserved
+        assert rates["h_vent"] == pytest.approx(-0.1)  # child flow preserved
+
+    def test_child_variables_frozen_outside_child(self):
+        parent = build_fig6_parent()
+        child = build_standalone_ventilator()
+        result = elaborate(parent, "Fall-Back", child)
+        rates = result.location("Risky").flow.rates(result.initial_valuation)
+        assert "h_vent" not in rates or rates["h_vent"] == 0.0
+
+    def test_elaborated_automaton_simulates(self):
+        parent = build_fig6_parent()
+        child = build_standalone_ventilator()
+        result = elaborate(parent, "Fall-Back", child)
+        system = HybridSystem()
+        system.add(result)
+        trace = SimulationEngine(system).run(20.0)
+        locations = [v.location for v in trace.visits(result.name)]
+        # It pumps until x reaches 5, then goes Risky, then returns to pumping.
+        assert "Risky" in locations
+        assert locations[0] in {"PumpOut", "PumpIn"}
+
+    def test_risky_flag_inherited_from_elaborated_location(self):
+        parent = build_fig6_parent()
+        parent.mark_risky("Fall-Back")
+        child = build_standalone_ventilator()
+        result = elaborate(parent, "Fall-Back", child)
+        assert {"PumpOut", "PumpIn"} <= result.risky_locations
+
+    def test_non_simple_child_rejected(self):
+        parent = build_fig6_parent()
+        bad_child = HybridAutomaton("bad", variables=["y"])
+        bad_child.add_location(Location("bad.A", invariant=var_ge("y", 0.0)))
+        bad_child.add_location(Location("bad.B"))
+        bad_child.initial_location = "bad.A"
+        with pytest.raises(ElaborationError):
+            elaborate(parent, "Fall-Back", bad_child)
+
+    def test_dependent_child_rejected(self):
+        parent = build_fig6_parent()
+        clash = HybridAutomaton("clash", variables=["x"],
+                                locations=[Location("clash.Only")],
+                                initial_location="clash.Only")
+        with pytest.raises(ElaborationError):
+            elaborate(parent, "Fall-Back", clash)
+
+    def test_unknown_location_rejected(self):
+        with pytest.raises(ElaborationError):
+            elaborate(build_fig6_parent(), "Nowhere", build_standalone_ventilator())
+
+
+class TestParallelElaboration:
+    def _second_child(self) -> HybridAutomaton:
+        child = HybridAutomaton("lamp", variables=["lum"])
+        child.add_location(Location("Dim", flow=ConstantFlow({"lum": -1.0})))
+        child.add_location(Location("Bright", flow=ConstantFlow({"lum": 1.0})))
+        child.initial_location = "Dim"
+        child.add_edge(Edge("Dim", "Bright", guard=var_ge("lum", 0.0)))
+        return child
+
+    def test_parallel_elaboration_applies_both_children(self):
+        parent = build_fig6_parent()
+        vent = build_standalone_ventilator()
+        lamp = self._second_child()
+        result = elaborate_parallel(parent, ["Fall-Back", "Risky"], [vent, lamp],
+                                    name="both")
+        assert result.name == "both"
+        assert {"PumpOut", "PumpIn", "Dim", "Bright"} <= result.location_names
+        assert "Fall-Back" not in result.location_names
+        assert "Risky" not in result.location_names
+        assert len(elaboration_history(result)) == 2
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ElaborationError):
+            elaborate_parallel(build_fig6_parent(), ["Fall-Back"], [])
+
+    def test_duplicate_locations_rejected(self):
+        with pytest.raises(ElaborationError):
+            elaborate_parallel(build_fig6_parent(), ["Fall-Back", "Fall-Back"],
+                               [build_standalone_ventilator(), self._second_child()])
+
+    def test_non_independent_children_rejected(self):
+        with pytest.raises(ElaborationError):
+            elaborate_parallel(build_fig6_parent(), ["Fall-Back", "Risky"],
+                               [build_standalone_ventilator(),
+                                build_standalone_ventilator(name="other")])

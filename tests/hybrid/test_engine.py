@@ -1,0 +1,159 @@
+"""Integration tests for the hybrid-system simulation engine."""
+
+import pytest
+
+from repro.errors import ZenoError
+from repro.hybrid import (CallbackProcess, Edge, FunctionCoupling, HybridAutomaton,
+                          HybridSystem, Location, Reset, SimulationEngine, clock_flow,
+                          receive, receive_lossy, var_ge)
+from repro.hybrid.simulate.engine import Network
+
+
+def timed_automaton(name: str, clock: str, period: float,
+                    emits: list[str] | None = None) -> HybridAutomaton:
+    """Two-location automaton switching every ``period`` seconds."""
+    automaton = HybridAutomaton(name, variables=[clock])
+    automaton.add_location(Location(f"{name}.A", flow=clock_flow(clock)))
+    automaton.add_location(Location(f"{name}.B", flow=clock_flow(clock)))
+    automaton.initial_location = f"{name}.A"
+    automaton.add_edge(Edge(f"{name}.A", f"{name}.B", guard=var_ge(clock, period),
+                            reset=Reset({clock: 0.0}), emits=emits or [], reason="ab"))
+    automaton.add_edge(Edge(f"{name}.B", f"{name}.A", guard=var_ge(clock, period),
+                            reset=Reset({clock: 0.0}), reason="ba"))
+    return automaton
+
+
+class TestExactTiming:
+    def test_asap_transitions_happen_at_exact_times(self):
+        system = HybridSystem()
+        system.add(timed_automaton("t", "c", 2.5))
+        trace = SimulationEngine(system).run(10.0)
+        times = [r.time for r in trace.transitions_of("t")]
+        assert times == pytest.approx([2.5, 5.0, 7.5, 10.0]) or \
+            times == pytest.approx([2.5, 5.0, 7.5])
+
+    def test_visit_durations(self):
+        system = HybridSystem()
+        system.add(timed_automaton("t", "c", 3.0))
+        trace = SimulationEngine(system).run(9.0)
+        visits = trace.visits("t")
+        assert [v.location for v in visits[:3]] == ["t.A", "t.B", "t.A"]
+        assert visits[0].duration == pytest.approx(3.0)
+        assert visits[1].duration == pytest.approx(3.0)
+
+
+class TestEventCommunication:
+    def _sender_receiver_system(self):
+        system = HybridSystem()
+        sender = timed_automaton("sender", "cs", 2.0, emits=["ping"])
+        receiver = HybridAutomaton("receiver", variables=["cr"])
+        receiver.add_location(Location("receiver.Idle", flow=clock_flow("cr")))
+        receiver.add_location(Location("receiver.Got", flow=clock_flow("cr")))
+        receiver.initial_location = "receiver.Idle"
+        receiver.add_edge(Edge("receiver.Idle", "receiver.Got",
+                               trigger=receive_lossy("ping"), reason="got"))
+        system.add(sender, entity="node-a")
+        system.add(receiver, entity="node-b")
+        return system
+
+    def test_event_delivered_instantaneously(self):
+        system = self._sender_receiver_system()
+        trace = SimulationEngine(system).run(3.0)
+        got = trace.transitions_of("receiver", reason="got")
+        assert len(got) == 1
+        assert got[0].time == pytest.approx(2.0)
+        assert got[0].trigger_root == "ping"
+
+    def test_lossy_event_dropped_by_network(self):
+        class DropAll(Network):
+            def attempt_delivery(self, sender, receiver, root, now):
+                return False
+
+        system = self._sender_receiver_system()
+        trace = SimulationEngine(system, network=DropAll()).run(3.0)
+        assert trace.transitions_of("receiver", reason="got") == []
+        assert len(trace.lost_events("ping")) == 1
+
+    def test_reliable_local_event_bypasses_network(self):
+        class DropAll(Network):
+            def attempt_delivery(self, sender, receiver, root, now):
+                return False
+
+        system = HybridSystem()
+        sender = timed_automaton("sender", "cs", 2.0, emits=["ping"])
+        receiver = HybridAutomaton("receiver", variables=["cr"])
+        receiver.add_location(Location("receiver.Idle", flow=clock_flow("cr")))
+        receiver.add_location(Location("receiver.Got", flow=clock_flow("cr")))
+        receiver.initial_location = "receiver.Idle"
+        receiver.add_edge(Edge("receiver.Idle", "receiver.Got",
+                               trigger=receive("ping"), reason="got"))
+        system.add(sender, entity="same-box")
+        system.add(receiver, entity="same-box")
+        trace = SimulationEngine(system, network=DropAll()).run(3.0)
+        assert len(trace.transitions_of("receiver", reason="got")) == 1
+
+    def test_unconsumed_events_do_not_persist(self):
+        # The receiver only listens in Idle; a second ping arriving while it
+        # is already in Got must be ignored, and must not fire later.
+        system = self._sender_receiver_system()
+        trace = SimulationEngine(system).run(9.0)
+        assert len(trace.transitions_of("receiver", reason="got")) == 1
+
+    def test_injected_events_reach_receivers(self):
+        system = self._sender_receiver_system()
+        process = CallbackProcess([(1.0, lambda e: e.inject_event("ping"))])
+        trace = SimulationEngine(system, processes=[process]).run(1.5)
+        got = trace.transitions_of("receiver", reason="got")
+        assert len(got) == 1 and got[0].time == pytest.approx(1.0)
+
+
+class TestCouplingsAndProcesses:
+    def test_coupling_copies_values_between_automata(self):
+        system = HybridSystem()
+        source = timed_automaton("source", "cs", 100.0)
+        sink = HybridAutomaton("sink", variables=["mirror"])
+        sink.add_location(Location("sink.Only"))
+        sink.initial_location = "sink.Only"
+        system.add(source)
+        system.add(sink)
+        coupling = FunctionCoupling(
+            lambda engine: engine.set_variable(
+                "sink", "mirror", engine.state.value_of("source", "cs")))
+        engine = SimulationEngine(system, couplings=[coupling], dt_max=0.5)
+        engine.run(2.0)
+        assert engine.state.value_of("sink", "mirror") == pytest.approx(2.0, abs=0.6)
+
+    def test_process_wakeups_are_respected(self):
+        seen = []
+        system = HybridSystem()
+        system.add(timed_automaton("t", "c", 50.0))
+        process = CallbackProcess([(1.25, lambda e: seen.append(e.now)),
+                                   (2.5, lambda e: seen.append(e.now))])
+        SimulationEngine(system, processes=[process]).run(5.0)
+        assert seen == pytest.approx([1.25, 2.5])
+
+
+class TestPathologies:
+    def test_zeno_loop_detected(self):
+        automaton = HybridAutomaton("zeno", variables=["c"])
+        automaton.add_location(Location("zeno.A", flow=clock_flow("c")))
+        automaton.add_location(Location("zeno.B", flow=clock_flow("c")))
+        automaton.initial_location = "zeno.A"
+        # Two always-enabled ASAP edges form an instantaneous loop.
+        automaton.add_edge(Edge("zeno.A", "zeno.B"))
+        automaton.add_edge(Edge("zeno.B", "zeno.A"))
+        system = HybridSystem()
+        system.add(automaton)
+        with pytest.raises(ZenoError):
+            SimulationEngine(system, max_cascade=50).run(1.0)
+
+    def test_deterministic_given_seed(self):
+        from repro.core import laser_tracheotomy_configuration, build_pattern_system
+        from repro.casestudy import CaseStudyConfig, run_trial
+
+        config = CaseStudyConfig()
+        first = run_trial(config, with_lease=True, seed=11, duration=200.0)
+        second = run_trial(config, with_lease=True, seed=11, duration=200.0)
+        assert first.laser_emissions == second.laser_emissions
+        assert first.evt_to_stop == second.evt_to_stop
+        assert first.failures == second.failures

@@ -1,0 +1,119 @@
+"""Unit tests for guard/invariant predicates and their crossing times."""
+
+import math
+
+import pytest
+
+from repro.hybrid.expressions import (And, BoxPredicate, FunctionPredicate, Not, Or,
+                                      TRUE, FALSE, var_eq, var_ge, var_gt, var_le, var_lt)
+from repro.hybrid.variables import Valuation
+
+
+class TestLinearInequality:
+    def test_evaluate_ge(self):
+        guard = var_ge("c", 5.0)
+        assert not guard.evaluate(Valuation({"c": 4.9}))
+        assert guard.evaluate(Valuation({"c": 5.0}))
+        assert guard.evaluate(Valuation({"c": 6.0}))
+
+    def test_evaluate_missing_variable_defaults_to_zero(self):
+        assert var_le("c", 1.0).evaluate(Valuation({}))
+        assert not var_ge("c", 1.0).evaluate(Valuation({}))
+
+    def test_time_until_true_with_positive_rate(self):
+        guard = var_ge("c", 5.0)
+        delay = guard.time_until_true(Valuation({"c": 2.0}), {"c": 1.0})
+        assert delay == pytest.approx(3.0)
+
+    def test_time_until_true_already_true(self):
+        assert var_ge("c", 5.0).time_until_true(Valuation({"c": 6.0}), {"c": 1.0}) == 0.0
+
+    def test_time_until_true_never(self):
+        guard = var_ge("c", 5.0)
+        assert math.isinf(guard.time_until_true(Valuation({"c": 2.0}), {"c": 0.0}))
+        assert math.isinf(guard.time_until_true(Valuation({"c": 2.0}), {"c": -1.0}))
+
+    def test_time_until_true_descending_threshold(self):
+        guard = var_le("h", 0.0)
+        delay = guard.time_until_true(Valuation({"h": 0.3}), {"h": -0.1})
+        assert delay == pytest.approx(3.0)
+
+    def test_time_until_false(self):
+        guard = var_le("c", 5.0)
+        delay = guard.time_until_false(Valuation({"c": 2.0}), {"c": 1.0})
+        assert delay == pytest.approx(3.0)
+
+    def test_equality_tolerance(self):
+        guard = var_eq("x", 1.0)
+        assert guard.evaluate(Valuation({"x": 1.0 + 1e-12}))
+        assert not guard.evaluate(Valuation({"x": 1.1}))
+
+    def test_strict_operators(self):
+        assert var_gt("x", 1.0).evaluate(Valuation({"x": 1.5}))
+        assert not var_gt("x", 1.0).evaluate(Valuation({"x": 1.0}))
+        assert var_lt("x", 1.0).evaluate(Valuation({"x": 0.5}))
+
+
+class TestCompositePredicates:
+    def test_and_evaluate(self):
+        guard = And((var_ge("c", 1.0), var_le("c", 2.0)))
+        assert guard.evaluate(Valuation({"c": 1.5}))
+        assert not guard.evaluate(Valuation({"c": 3.0}))
+
+    def test_and_time_until_true_takes_latest(self):
+        guard = And((var_ge("a", 4.0), var_ge("b", 2.0)))
+        delay = guard.time_until_true(Valuation({"a": 0.0, "b": 0.0}),
+                                      {"a": 1.0, "b": 1.0})
+        assert delay == pytest.approx(4.0)
+
+    def test_or_time_until_true_takes_earliest(self):
+        guard = Or((var_ge("a", 4.0), var_ge("b", 2.0)))
+        delay = guard.time_until_true(Valuation({"a": 0.0, "b": 0.0}),
+                                      {"a": 1.0, "b": 1.0})
+        assert delay == pytest.approx(2.0)
+
+    def test_not_inverts(self):
+        guard = Not(var_ge("c", 5.0))
+        assert guard.evaluate(Valuation({"c": 1.0}))
+        assert not guard.evaluate(Valuation({"c": 6.0}))
+
+    def test_operator_overloads(self):
+        combined = var_ge("c", 1.0) & var_le("c", 2.0)
+        assert combined.evaluate(Valuation({"c": 1.5}))
+        either = var_ge("c", 5.0) | var_le("c", 0.0)
+        assert either.evaluate(Valuation({"c": -1.0}))
+        assert (~var_ge("c", 5.0)).evaluate(Valuation({"c": 0.0}))
+
+    def test_true_false_singletons(self):
+        assert TRUE.evaluate(Valuation({}))
+        assert not FALSE.evaluate(Valuation({}))
+        assert math.isinf(TRUE.time_until_false(Valuation({}), {}))
+        assert math.isinf(FALSE.time_until_true(Valuation({}), {}))
+
+
+class TestBoxAndFunctionPredicates:
+    def test_box_contains(self):
+        box = BoxPredicate("h", 0.0, 0.3)
+        assert box.evaluate(Valuation({"h": 0.15}))
+        assert not box.evaluate(Valuation({"h": 0.5}))
+
+    def test_box_rejects_inverted_bounds(self):
+        with pytest.raises(ValueError):
+            BoxPredicate("h", 1.0, 0.0)
+
+    def test_box_time_until_false(self):
+        box = BoxPredicate("h", 0.0, 0.3)
+        delay = box.time_until_false(Valuation({"h": 0.3}), {"h": -0.1})
+        assert delay == pytest.approx(3.0)
+
+    def test_box_time_until_true_from_outside(self):
+        box = BoxPredicate("h", 0.0, 0.3)
+        delay = box.time_until_true(Valuation({"h": -0.2}), {"h": 0.1})
+        assert delay == pytest.approx(2.0)
+
+    def test_function_predicate(self):
+        predicate = FunctionPredicate(lambda v: v.get("spo2", 0.0) > 92.0, "spo2 ok")
+        assert predicate.evaluate(Valuation({"spo2": 95.0}))
+        assert not predicate.evaluate(Valuation({"spo2": 90.0}))
+        # No closed-form crossing time: the simulator must fall back to sampling.
+        assert predicate.time_until_true(Valuation({"spo2": 90.0}), {}) is None

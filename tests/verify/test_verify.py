@@ -1,0 +1,90 @@
+"""Tests for the fault-injection verification harness."""
+
+from repro.casestudy import CaseStudyConfig, run_trial
+from repro.verify import (CampaignSettings, FaultScenario, blackout_scenario,
+                          bounded_dwelling_property, pte_safety_property,
+                          run_case_study_campaign, single_risky_visit_per_round_property,
+                          standard_fault_scenarios)
+from repro.verify.properties import auto_reset_property
+from repro.wireless import PerfectChannel
+from repro.wireless.channel import BernoulliChannel, GilbertElliottChannel, ScriptedChannel
+
+CONFIG = CaseStudyConfig()
+
+
+class TestFaultScenarios:
+    def test_standard_family_builds_channels(self):
+        scenarios = standard_fault_scenarios()
+        names = {s.name for s in scenarios}
+        assert "perfect" in names
+        kinds = {type(s.build_channel(seed=1)) for s in scenarios}
+        assert PerfectChannel in kinds or BernoulliChannel in kinds
+        assert any(isinstance(s.build_channel(1), GilbertElliottChannel)
+                   for s in scenarios)
+
+    def test_blackout_scenario(self):
+        channel = blackout_scenario(10.0, 20.0).build_channel()
+        assert isinstance(channel, ScriptedChannel)
+        assert not channel.attempt(15.0).received_by_application
+        assert channel.attempt(25.0).received_by_application
+
+
+class TestProperties:
+    def _safe_trace(self):
+        result = run_trial(CONFIG, with_lease=True, seed=8, duration=300.0,
+                           keep_trace=True)
+        return result.trace
+
+    def test_pte_safety_property_on_lease_trace(self):
+        prop = pte_safety_property(CONFIG.rules())
+        assert prop.evaluate(self._safe_trace()).holds
+
+    def test_bounded_dwelling_property(self):
+        trace = self._safe_trace()
+        ok = bounded_dwelling_property(["ventilator", "laser_scalpel"], 60.0)
+        assert ok.evaluate(trace).holds
+        tight = bounded_dwelling_property(["ventilator", "laser_scalpel"], 0.5)
+        # With any emission at all, a 0.5 s bound cannot hold.
+        emitted = trace.count_entries("laser_scalpel", "xi2.Risky Core") > 0
+        assert tight.evaluate(trace).holds != emitted or not emitted
+
+    def test_auto_reset_property(self):
+        trace = self._safe_trace()
+        prop = auto_reset_property(
+            ["ventilator", "laser_scalpel"],
+            {"ventilator": "PumpOut", "laser_scalpel": "xi2.Fall-Back"},
+            horizon=CONFIG.pattern.round_horizon + CONFIG.pattern.t_wait_max)
+        # The ventilator's Fall-Back is elaborated into PumpOut/PumpIn, so we
+        # only check the laser here (its Fall-Back is a single location).
+        laser_only = auto_reset_property(
+            ["laser_scalpel"], {"laser_scalpel": "xi2.Fall-Back"},
+            horizon=CONFIG.pattern.round_horizon)
+        assert laser_only.evaluate(trace).holds
+
+    def test_single_risky_visit_per_round(self):
+        trace = self._safe_trace()
+        prop = single_risky_visit_per_round_property(
+            "laser_scalpel", "evt_xi0_to_xi1_lease_req")
+        assert prop.evaluate(trace).holds
+
+
+class TestCampaigns:
+    def test_lease_campaign_passes_everywhere(self):
+        settings = CampaignSettings(
+            scenarios=[FaultScenario("perfect", "no loss", kind="perfect"),
+                       FaultScenario("heavy", "50% loss", {"loss_probability": 0.5},
+                                     kind="bernoulli")],
+            seeds_per_scenario=2, trial_duration=300.0, master_seed=11, with_lease=True)
+        report = run_case_study_campaign(CONFIG, settings)
+        assert report.total_trials == 4
+        assert report.all_passed, report.summary()
+        assert report.pass_rate() == 1.0
+
+    def test_report_bookkeeping(self):
+        settings = CampaignSettings(
+            scenarios=[FaultScenario("perfect", "no loss", kind="perfect")],
+            seeds_per_scenario=2, trial_duration=200.0, master_seed=5, with_lease=True)
+        report = run_case_study_campaign(CONFIG, settings)
+        by_scenario = report.by_scenario()
+        assert by_scenario["perfect"] == (2, 2)
+        assert "pass rate" in report.summary()
