@@ -1,0 +1,16 @@
+"""Quick-mode switch for the benchmark suite.
+
+CI's benchmark-smoke job sets ``REPRO_BENCH_QUICK=1`` to shrink the
+benchmark workloads to smoke-test size while keeping the measurement and
+artifact plumbing identical to a full run.
+"""
+
+import os
+
+#: True when the benchmark-smoke job asks for reduced workloads.
+BENCH_QUICK = os.environ.get("REPRO_BENCH_QUICK", "") == "1"
+
+
+def quick(normal, reduced):
+    """Pick the quick-mode value when ``REPRO_BENCH_QUICK=1`` is set."""
+    return reduced if BENCH_QUICK else normal

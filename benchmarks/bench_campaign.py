@@ -1,0 +1,41 @@
+"""Benchmarks of the Monte-Carlo campaign runner.
+
+Measures campaign throughput (trials per second) for the serial executor
+and for the process-pool fan-out, seeding the performance trajectory of
+the batch layer.  ``REPRO_BENCH_QUICK=1`` shrinks the workload to CI
+smoke-test size; the CI benchmark job uploads the resulting timings as the
+``BENCH_campaign.json`` artifact.
+"""
+
+import pytest
+
+from _quick import quick
+from repro.campaign import run_campaign, table1_spec
+
+#: Replicates per Table I cell and simulated seconds per trial.
+REPLICATES = quick(4, 2)
+TRIAL_DURATION = quick(180.0, 60.0)
+
+
+def _spec():
+    return table1_spec(duration=TRIAL_DURATION, replicates=REPLICATES)
+
+
+@pytest.mark.benchmark(group="campaign")
+def test_campaign_serial_throughput(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_campaign(_spec(), seed=7, max_workers=1),
+        rounds=1, iterations=1)
+    assert result.total_trials == 4 * REPLICATES
+    assert all(s.failures == 0 for s in result.summaries if s.with_lease)
+
+
+@pytest.mark.benchmark(group="campaign")
+def test_campaign_parallel_throughput(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_campaign(_spec(), seed=7, max_workers=4),
+        rounds=1, iterations=1)
+    print(f"\n{result.total_trials} trials, {result.workers} workers, "
+          f"{result.trials_per_second:.2f} trials/s")
+    assert result.total_trials == 4 * REPLICATES
+    assert all(s.failures == 0 for s in result.summaries if s.with_lease)

@@ -2,14 +2,19 @@
 
 Not a paper artifact: these measure the cost of one case-study trial second
 and of one design-pattern round, so regressions in the engine are visible
-independently of the experiment harness.
+independently of the experiment harness.  ``REPRO_BENCH_QUICK=1`` shrinks
+the workloads to CI smoke-test size.
 """
 
 import pytest
 
+from _quick import quick
 from repro.casestudy import CaseStudyConfig, run_trial
 from repro.core import build_pattern_system, laser_tracheotomy_configuration
 from repro.hybrid import CallbackProcess, SimulationEngine
+
+#: Simulated seconds per trial (quick mode trims the horizon, not the model).
+TRIAL_DURATION = quick(120.0, 40.0)
 
 
 @pytest.mark.benchmark(group="substrate")
@@ -17,7 +22,7 @@ def test_case_study_trial_throughput(benchmark):
     config = CaseStudyConfig()
 
     def one_trial():
-        return run_trial(config, with_lease=True, seed=1, duration=120.0)
+        return run_trial(config, with_lease=True, seed=1, duration=TRIAL_DURATION)
 
     result = benchmark(one_trial)
     assert result.failures == 0
@@ -32,7 +37,7 @@ def test_pattern_round_throughput(benchmark):
         process = CallbackProcess(
             [(14.0, lambda e: e.inject_event(pattern.vocabulary.command_request)),
              (40.0, lambda e: e.inject_event(pattern.vocabulary.command_cancel))])
-        return SimulationEngine(pattern.system, processes=[process]).run(120.0)
+        return SimulationEngine(pattern.system, processes=[process]).run(TRIAL_DURATION)
 
     trace = benchmark(one_round)
-    assert trace.end_time == 120.0
+    assert trace.end_time == TRIAL_DURATION

@@ -1,8 +1,16 @@
-"""Benchmark bootstrap: make the src layout importable without installation."""
+"""Benchmark bootstrap.
+
+Reuses the repository's shared ``_bootstrap_src`` helper so benchmark runs
+resolve imports exactly like the test suite does.
+"""
 
 import sys
 from pathlib import Path
 
-_SRC = Path(__file__).resolve().parent.parent / "src"
-if str(_SRC) not in sys.path:
-    sys.path.insert(0, str(_SRC))
+_ROOT = Path(__file__).resolve().parent.parent
+if str(_ROOT) not in sys.path:
+    sys.path.insert(0, str(_ROOT))
+
+from bootstrap_src import _bootstrap_src  # noqa: E402
+
+_bootstrap_src()

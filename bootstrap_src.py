@@ -1,0 +1,23 @@
+"""Shared ``src``-layout bootstrap for the pytest conftest files.
+
+The root ``conftest.py`` and ``benchmarks/conftest.py`` both need the
+``src`` directory on ``sys.path`` so the package imports without an
+editable install (useful on offline machines where ``pip install -e .``
+cannot build editable metadata because the ``wheel`` package is
+unavailable; see README "Installation" for the supported offline path).
+Keeping the logic in one helper guarantees CI and local runs agree on
+import behaviour.
+"""
+
+import sys
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent / "src"
+
+
+def _bootstrap_src() -> str:
+    """Prepend the repository's ``src`` directory to ``sys.path`` once."""
+    path = str(_SRC)
+    if path not in sys.path:
+        sys.path.insert(0, path)
+    return path

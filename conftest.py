@@ -1,14 +1,5 @@
-"""Pytest bootstrap.
+"""Pytest bootstrap: make the ``src`` layout importable without installation."""
 
-Makes the ``src`` layout importable even when the package has not been
-installed (useful on offline machines where ``pip install -e .`` cannot
-build editable metadata because the ``wheel`` package is unavailable; see
-README "Installation" for the supported offline path).
-"""
+from bootstrap_src import _bootstrap_src
 
-import sys
-from pathlib import Path
-
-_SRC = Path(__file__).resolve().parent / "src"
-if str(_SRC) not in sys.path:
-    sys.path.insert(0, str(_SRC))
+_bootstrap_src()

@@ -12,7 +12,9 @@ The library is organized as:
   pattern, Theorem 2 compliance checking;
 * :mod:`repro.casestudy` -- the laser-tracheotomy wireless CPS of Section V;
 * :mod:`repro.verify` -- fault-injection verification campaigns;
-* :mod:`repro.experiments` -- drivers reproducing every table and figure.
+* :mod:`repro.experiments` -- drivers reproducing every table and figure;
+* :mod:`repro.campaign` -- parallel Monte-Carlo campaign runner
+  (``python -m repro.campaign``).
 
 The most common entry points are re-exported here.
 """
@@ -24,6 +26,8 @@ from repro.core import (PatternConfiguration, PTEMonitor, PTERuleSet,
 from repro.hybrid import (Edge, HybridAutomaton, HybridSystem, Location,
                           SimulationEngine, elaborate, simulate)
 from repro.casestudy import CaseStudyConfig, run_table1_trials, run_trial
+from repro.campaign import (CampaignResult, CampaignSpec, TrialSpec,
+                            run_campaign)
 
 __version__ = "1.0.0"
 
@@ -39,4 +43,6 @@ __all__ = [
     "build_pattern_system", "build_baseline_system",
     # case study
     "CaseStudyConfig", "run_trial", "run_table1_trials",
+    # campaign runner
+    "CampaignSpec", "TrialSpec", "CampaignResult", "run_campaign",
 ]

@@ -1,0 +1,26 @@
+"""Parallel Monte-Carlo campaign runner for emulation trials.
+
+Declarative parameter sweeps (:mod:`repro.campaign.spec`), a process-pool
+executor with deterministic per-trial seeding
+(:mod:`repro.campaign.executor`), streaming aggregation into
+experiment-compatible summaries (:mod:`repro.campaign.aggregate`), the
+paper's experiments as reusable presets (:mod:`repro.campaign.presets`),
+and a CLI (``python -m repro.campaign``).
+"""
+
+from repro.campaign.aggregate import CampaignResult, GroupSummary, TrialSummary
+from repro.campaign.executor import (default_worker_count, execute_trial,
+                                     run_campaign)
+from repro.campaign.presets import (PRESETS, Preset, grid_spec, loss_sweep_spec,
+                                    scenarios_spec, table1_spec)
+from repro.campaign.spec import (CampaignSpec, ChannelSpec, SurgeonSpec, TrialRun,
+                                 TrialSpec, expand_grid)
+
+__all__ = [
+    "CampaignSpec", "TrialSpec", "TrialRun", "ChannelSpec", "SurgeonSpec",
+    "expand_grid",
+    "run_campaign", "execute_trial", "default_worker_count",
+    "CampaignResult", "GroupSummary", "TrialSummary",
+    "PRESETS", "Preset",
+    "table1_spec", "loss_sweep_spec", "scenarios_spec", "grid_spec",
+]

@@ -1,0 +1,183 @@
+"""Campaign result containers and streaming-friendly aggregation.
+
+Workers return slim, picklable :class:`TrialSummary` records (the Table I
+statistics of one trial, no traces or monitors attached); the campaign
+result keeps them ordered by trial index so aggregates are bit-identical
+for any worker count, and groups them per :class:`~repro.campaign.spec.TrialSpec`
+cell for table building.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Sequence, Tuple
+
+from repro.campaign.spec import mode_label
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.casestudy.emulation import TrialResult
+    from repro.campaign.spec import CampaignSpec, TrialRun, TrialSpec
+
+
+@dataclass(frozen=True)
+class TrialSummary:
+    """Slim, picklable statistics of one campaign trial."""
+
+    label: str
+    spec_index: int
+    replicate: int
+    seed: int
+    with_lease: bool
+    mean_toff: float
+    duration: float
+    laser_emissions: int
+    failures: int
+    evt_to_stop: int
+    ventilator_pauses: int
+    max_emission_duration: float
+    max_pause_duration: float
+    min_spo2: float
+    supervisor_aborts: int
+    surgeon_requests: int
+    surgeon_cancels: int
+    observed_loss_ratio: float
+
+    @classmethod
+    def from_trial(cls, run: "TrialRun", result: "TrialResult") -> "TrialSummary":
+        """Extract the summary of one executed trial."""
+        return cls(
+            label=run.spec.label,
+            spec_index=run.spec_index,
+            replicate=run.replicate,
+            seed=run.seed,
+            with_lease=result.with_lease,
+            mean_toff=result.mean_toff,
+            duration=result.duration,
+            laser_emissions=result.laser_emissions,
+            failures=result.failures,
+            evt_to_stop=result.evt_to_stop,
+            ventilator_pauses=result.ventilator_pauses,
+            max_emission_duration=result.max_emission_duration,
+            max_pause_duration=result.max_pause_duration,
+            min_spo2=result.min_spo2,
+            supervisor_aborts=result.supervisor_aborts,
+            surgeon_requests=result.surgeon_requests,
+            surgeon_cancels=result.surgeon_cancels,
+            observed_loss_ratio=result.observed_loss_ratio,
+        )
+
+    @property
+    def mode(self) -> str:
+        """``"with Lease"`` or ``"without Lease"`` (Table I's Trial Mode)."""
+        return mode_label(self.with_lease, table_style=True)
+
+
+@dataclass(frozen=True)
+class GroupSummary:
+    """Aggregate statistics of all replicates of one trial cell."""
+
+    label: str
+    spec_index: int
+    trials: int
+    with_lease: bool
+    mean_toff: float
+    laser_emissions: int
+    failures: int
+    evt_to_stop: int
+    failing_trials: int
+    max_emission_duration: float
+    max_pause_duration: float
+    min_spo2: float
+    mean_loss_ratio: float
+
+    @classmethod
+    def from_summaries(cls, summaries: Sequence[TrialSummary]) -> "GroupSummary":
+        """Aggregate one cell's replicates (order-independent reductions)."""
+        if not summaries:
+            raise ValueError("cannot aggregate an empty trial group")
+        first = summaries[0]
+        return cls(
+            label=first.label,
+            spec_index=first.spec_index,
+            trials=len(summaries),
+            with_lease=first.with_lease,
+            mean_toff=first.mean_toff,
+            laser_emissions=sum(s.laser_emissions for s in summaries),
+            failures=sum(s.failures for s in summaries),
+            evt_to_stop=sum(s.evt_to_stop for s in summaries),
+            failing_trials=sum(1 for s in summaries if s.failures > 0),
+            max_emission_duration=max(s.max_emission_duration for s in summaries),
+            max_pause_duration=max(s.max_pause_duration for s in summaries),
+            min_spo2=min(s.min_spo2 for s in summaries),
+            mean_loss_ratio=sum(s.observed_loss_ratio for s in summaries)
+            / len(summaries),
+        )
+
+    @property
+    def mode(self) -> str:
+        """``"with lease"`` or ``"without lease"``."""
+        return mode_label(self.with_lease)
+
+
+@dataclass
+class CampaignResult:
+    """Everything one campaign run produced.
+
+    ``summaries`` is ordered by trial index (i.e. by position in the
+    expanded spec), which makes every derived aggregate independent of the
+    worker count and completion order.  ``wall_time`` and ``workers`` are
+    execution metadata and deliberately excluded from :meth:`to_json`'s
+    ``"campaign"`` payload so that determinism checks can compare payloads
+    byte-for-byte.
+    """
+
+    spec: "CampaignSpec"
+    master_seed: int
+    workers: int
+    wall_time: float
+    summaries: Tuple[TrialSummary, ...]
+    results: Tuple["TrialResult", ...] | None = field(default=None, repr=False)
+
+    @property
+    def total_trials(self) -> int:
+        """Number of trials the campaign executed."""
+        return len(self.summaries)
+
+    @property
+    def trials_per_second(self) -> float:
+        """Executed-trial throughput of this run."""
+        return self.total_trials / self.wall_time if self.wall_time > 0 else 0.0
+
+    def group_map(self) -> Dict[int, List[TrialSummary]]:
+        """Summaries grouped by spec index, replicates in order."""
+        grouped: Dict[int, List[TrialSummary]] = {}
+        for summary in self.summaries:
+            grouped.setdefault(summary.spec_index, []).append(summary)
+        return grouped
+
+    def groups(self) -> List[GroupSummary]:
+        """One aggregate per trial cell, in spec (presentation) order."""
+        grouped = self.group_map()
+        return [GroupSummary.from_summaries(grouped[index])
+                for index in sorted(grouped)]
+
+    def spec_of(self, group: GroupSummary) -> "TrialSpec":
+        """The trial spec a group summary was aggregated from."""
+        return self.spec.trials[group.spec_index]
+
+    def to_json(self) -> Dict[str, object]:
+        """JSON-ready payload: deterministic campaign data + run metadata."""
+        return {
+            "campaign": {
+                "name": self.spec.name,
+                "master_seed": self.master_seed,
+                "total_trials": self.total_trials,
+                "trials": [asdict(s) for s in self.summaries],
+                "groups": [asdict(g) for g in self.groups()],
+            },
+            "run": {
+                "workers": self.workers,
+                "wall_time_s": self.wall_time,
+                "trials_per_second": self.trials_per_second,
+            },
+        }

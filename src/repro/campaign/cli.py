@@ -1,0 +1,160 @@
+"""Command-line Monte-Carlo campaign runner.
+
+Examples::
+
+    # Table I at 40 replicates per cell across 4 worker processes.
+    python -m repro.campaign --experiment table1 --replicates 40 --workers 4 --seed 7
+
+    # Scaled loss sweep with shorter trials.
+    python -m repro.campaign --experiment loss_sweep --replicates 10 \
+        --loss-levels 0,0.3,0.6,0.9 --duration 600 --workers 4
+
+    # Joint loss-rate x E(Toff) grid, JSON results to a file.
+    python -m repro.campaign --experiment grid --loss-levels 0,0.3,0.6 \
+        --mean-toffs 18,6 --replicates 5 --workers 4 --json grid.json
+
+The exit status is 0 when every experiment check holds, 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Sequence
+
+from repro.campaign.aggregate import TrialSummary
+from repro.campaign.executor import default_worker_count, run_campaign
+from repro.campaign.presets import PRESETS
+from repro.campaign.spec import CampaignSpec
+
+
+def _csv_floats(text: str) -> tuple[float, ...]:
+    try:
+        return tuple(float(part) for part in text.split(",") if part.strip())
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(f"expected comma-separated floats: {text!r}") \
+            from exc
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The campaign CLI's argument parser."""
+    preset_lines = "\n".join(f"  {name:<12s} {preset.description}"
+                             for name, preset in PRESETS.items())
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.campaign",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        description=__doc__,
+        epilog=f"experiments:\n{preset_lines}",
+    )
+    parser.add_argument("--experiment", choices=sorted(PRESETS), default="table1",
+                        help="campaign preset to run (default: table1)")
+    parser.add_argument("--replicates", type=int, default=1, metavar="N",
+                        help="independent trials per sweep cell (default: 1)")
+    parser.add_argument("--workers", type=int, default=1, metavar="N",
+                        help="worker processes; 1 = serial, 0 = one per CPU "
+                             "(default: 1)")
+    parser.add_argument("--seed", type=int, default=2013,
+                        help="campaign master seed (default: 2013)")
+    parser.add_argument("--duration", type=float, default=None, metavar="SECONDS",
+                        help="per-trial duration override")
+    parser.add_argument("--mean-toffs", type=_csv_floats, default=None,
+                        metavar="CSV", help="surgeon E(Toff) values "
+                        "(table1/grid; e.g. 18,6)")
+    parser.add_argument("--loss-levels", type=_csv_floats, default=None,
+                        metavar="CSV", help="packet-loss probabilities "
+                        "(loss_sweep/grid; e.g. 0,0.3,0.6,0.9)")
+    parser.add_argument("--json", default=None, metavar="PATH",
+                        help="write the full campaign result as JSON")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress per-trial progress lines")
+    return parser
+
+
+def build_spec(args: argparse.Namespace) -> CampaignSpec:
+    """Translate parsed CLI arguments into the requested campaign spec."""
+    name = args.experiment
+    if name == "table1":
+        kwargs = {"replicates": args.replicates, "duration": args.duration,
+                  "legacy_seed": args.seed}
+        if args.mean_toffs:
+            kwargs["mean_toffs"] = args.mean_toffs
+        return PRESETS[name].build(**kwargs)
+    if name == "loss_sweep":
+        kwargs = {"replicates": args.replicates}
+        if args.loss_levels:
+            kwargs["loss_levels"] = args.loss_levels
+        if args.duration is not None:
+            kwargs["duration"] = args.duration
+        return PRESETS[name].build(**kwargs)
+    if name == "grid":
+        kwargs = {"replicates": args.replicates}
+        if args.loss_levels:
+            kwargs["loss_levels"] = args.loss_levels
+        if args.mean_toffs:
+            kwargs["mean_toffs"] = args.mean_toffs
+        if args.duration is not None:
+            kwargs["duration"] = args.duration
+        return PRESETS[name].build(**kwargs)
+    # scenarios: deterministic, ignores replicates (every trial is scripted).
+    kwargs = {}
+    if args.duration is not None:
+        kwargs["horizon"] = args.duration
+    return PRESETS[name].build(**kwargs)
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point of ``python -m repro.campaign``."""
+    args = build_parser().parse_args(argv)
+    if args.replicates < 1:
+        print("error: --replicates must be at least 1", file=sys.stderr)
+        return 2
+    if args.workers < 0:
+        print("error: --workers must be non-negative", file=sys.stderr)
+        return 2
+    workers = args.workers or default_worker_count()
+
+    preset = PRESETS[args.experiment]
+    spec = build_spec(args)
+    total = spec.total_trials
+    print(f"campaign {spec.name!r}: {total} trials across {len(spec.trials)} "
+          f"cells, {workers} worker(s), master seed {args.seed}")
+
+    done = 0
+
+    def progress(summary: TrialSummary) -> None:
+        nonlocal done
+        done += 1
+        if not args.quiet:
+            verdict = "FAIL" if summary.failures else "ok"
+            print(f"  [{done:>4d}/{total}] {summary.label} "
+                  f"(replicate {summary.replicate}, seed {summary.seed}): "
+                  f"{summary.laser_emissions} emissions, "
+                  f"{summary.failures} failures [{verdict}]")
+
+    campaign = run_campaign(spec, seed=args.seed, max_workers=workers,
+                            on_result=progress)
+    result = preset.to_result(campaign)
+    print()
+    print(result.render())
+    print(f"\n{campaign.total_trials} trials in {campaign.wall_time:.1f}s "
+          f"({campaign.trials_per_second:.2f} trials/s, "
+          f"{campaign.workers} worker(s))")
+
+    if args.json:
+        payload = campaign.to_json()
+        payload["experiment"] = {
+            "name": result.experiment,
+            "checks": result.checks,
+            "headers": list(result.headers),
+            "rows": [list(row) for row in result.rows],
+        }
+        try:
+            with open(args.json, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle, indent=2, sort_keys=True)
+        except OSError as exc:
+            print(f"error: cannot write {args.json}: {exc}", file=sys.stderr)
+            return 2
+        print(f"wrote {args.json}")
+
+    return 0 if result.passed else 1

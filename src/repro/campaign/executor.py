@@ -1,0 +1,133 @@
+"""Parallel Monte-Carlo campaign execution.
+
+Fans independent emulation trials out across worker processes with
+:class:`concurrent.futures.ProcessPoolExecutor`, falling back to an
+in-process serial loop for ``max_workers=1`` (and for the degenerate
+single-trial case, where pool start-up would dominate).  Trials are
+embarrassingly parallel: every run's seed is derived from the campaign
+master seed and the run's position in the spec, never from scheduling, so
+any worker count yields bit-identical aggregates.
+
+Results stream back as trials complete (``on_result`` fires in completion
+order, for progress reporting); the final :class:`CampaignResult` orders
+summaries by trial index, making every derived statistic order-independent.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from typing import Callable, List, Tuple
+
+from repro.campaign.aggregate import CampaignResult, TrialSummary
+from repro.campaign.spec import CampaignSpec, TrialRun
+from repro.casestudy.config import CaseStudyConfig
+from repro.casestudy.emulation import TrialResult, run_trial
+
+#: Payload modes: slim summaries (default) or full TrialResult objects.
+PAYLOAD_KINDS = ("summary", "full")
+
+#: Keep at most this many futures in flight per worker, so that expanding a
+#: 100x campaign does not materialize every pending future up front.
+_INFLIGHT_PER_WORKER = 4
+
+
+def default_worker_count() -> int:
+    """A sensible default worker count for this machine."""
+    return max(1, os.cpu_count() or 1)
+
+
+def execute_trial(config: CaseStudyConfig, campaign_duration: float | None,
+                  run: TrialRun, payload: str = "summary",
+                  ) -> Tuple[int, TrialSummary, TrialResult | None]:
+    """Execute one concrete trial (runs inside a worker process).
+
+    Returns the run index (for order restoration), the slim summary, and —
+    when ``payload="full"`` — the complete :class:`TrialResult` (without
+    its trace, which is memory heavy and scheduling sensitive).
+    """
+    if payload not in PAYLOAD_KINDS:
+        raise ValueError(f"unknown payload kind {payload!r}")
+    spec = run.spec
+    trial_config = spec.configure(config)
+    duration = spec.duration if spec.duration is not None else campaign_duration
+    channel = spec.channel.build(run.seed)
+    surgeon = spec.surgeon.build() if spec.surgeon is not None else None
+    result = run_trial(trial_config, with_lease=spec.with_lease, seed=run.seed,
+                       duration=duration, channel=channel, surgeon=surgeon)
+    summary = TrialSummary.from_trial(run, result)
+    return run.index, summary, (result if payload == "full" else None)
+
+
+def run_campaign(spec: CampaignSpec, *, seed: int = 0, max_workers: int = 1,
+                 payload: str = "summary",
+                 on_result: Callable[[TrialSummary], None] | None = None,
+                 ) -> CampaignResult:
+    """Run a whole campaign, serially or across worker processes.
+
+    Args:
+        spec: The campaign description.
+        seed: Master seed; every trial derives its own sub-seed from it
+            (unless the spec pins explicit seeds).
+        max_workers: Worker processes; ``1`` runs the trials serially in
+            this process (no pool, no pickling).
+        payload: ``"summary"`` keeps only slim per-trial statistics;
+            ``"full"`` additionally collects each trial's
+            :class:`~repro.casestudy.emulation.TrialResult`.
+        on_result: Optional streaming callback, fired once per trial in
+            completion order (useful for progress reporting; aggregation
+            itself never depends on completion order).
+
+    Returns:
+        The ordered, aggregated :class:`CampaignResult`.
+    """
+    if payload not in PAYLOAD_KINDS:
+        raise ValueError(f"unknown payload kind {payload!r}")
+    if max_workers < 1:
+        raise ValueError("max_workers must be at least 1")
+    runs = spec.expand(seed)
+    started = time.perf_counter()
+    summaries: List[TrialSummary | None] = [None] * len(runs)
+    full: List[TrialResult | None] = [None] * len(runs)
+
+    def record(index: int, summary: TrialSummary,
+               result: TrialResult | None) -> None:
+        summaries[index] = summary
+        full[index] = result
+        if on_result is not None:
+            on_result(summary)
+
+    if max_workers == 1 or len(runs) == 1:
+        for run in runs:
+            record(*execute_trial(spec.config, spec.duration, run, payload))
+    else:
+        workers = min(max_workers, len(runs))
+        window = workers * _INFLIGHT_PER_WORKER
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            pending = set()
+            queue = iter(runs)
+            for run in queue:
+                pending.add(pool.submit(execute_trial, spec.config,
+                                        spec.duration, run, payload))
+                if len(pending) < window:
+                    continue
+                done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                for future in done:
+                    record(*future.result())
+            while pending:
+                done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                for future in done:
+                    record(*future.result())
+
+    wall_time = time.perf_counter() - started
+    if any(s is None for s in summaries):
+        raise RuntimeError("campaign lost trials: not every run reported back")
+    return CampaignResult(
+        spec=spec,
+        master_seed=seed,
+        workers=max_workers,
+        wall_time=wall_time,
+        summaries=tuple(summaries),
+        results=tuple(full) if payload == "full" else None,
+    )

@@ -1,0 +1,247 @@
+"""Declarative campaign descriptions: parameter sweeps as data.
+
+A Monte-Carlo campaign is a list of :class:`TrialSpec` entries, each
+describing one cell of a parameter sweep (lease on/off, surgeon E(Toff),
+channel model, trial duration, replicate count) as plain data.  Because the
+specs are frozen dataclasses built from primitives they pickle cleanly, so
+the executor can fan trials out across worker processes, and they hash the
+same everywhere, so per-trial seeds derived from them reproduce
+bit-for-bit regardless of scheduling.
+
+The paper's experiments (Table I, the loss sweep, the Section V scenario
+stories) are each "one spec away": see :mod:`repro.campaign.presets`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field, replace
+from typing import Dict, Iterator, List, Sequence, Tuple
+
+from repro.casestudy.config import CaseStudyConfig
+from repro.casestudy.surgeon import ScriptedSurgeon
+from repro.util.seeding import derive_seed
+from repro.wireless.channel import (BernoulliChannel, Channel, PerfectChannel,
+                                    ScriptedChannel)
+
+#: Channel kinds understood by :class:`ChannelSpec`.
+CHANNEL_KINDS = ("default", "perfect", "bernoulli", "scripted")
+
+
+def mode_label(with_lease: bool, *, table_style: bool = False) -> str:
+    """The lease-mode label used throughout results.
+
+    ``table_style=True`` capitalizes like the paper's Table I ("with
+    Lease"); the default matches the lowercase sweep-row convention.
+    """
+    if table_style:
+        return "with Lease" if with_lease else "without Lease"
+    return "with lease" if with_lease else "without lease"
+
+
+@dataclass(frozen=True)
+class ChannelSpec:
+    """Declarative description of a wireless loss model.
+
+    ``"default"`` defers to the case-study configuration's calibrated burst
+    interferer (``config.interference.to_channel``); the other kinds build
+    an explicit channel seeded with the trial seed, matching what the
+    serial experiment loops used to do inline.
+    """
+
+    kind: str = "default"
+    loss: float = 0.0
+    windows: Tuple[Tuple[float, float], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.kind not in CHANNEL_KINDS:
+            raise ValueError(f"unknown channel kind {self.kind!r}; "
+                             f"expected one of {CHANNEL_KINDS}")
+        if not 0.0 <= self.loss <= 1.0:
+            raise ValueError("loss must be within [0, 1]")
+
+    def build(self, seed: int | None) -> Channel | None:
+        """Materialize the channel for one trial (``None`` = config default)."""
+        if self.kind == "default":
+            return None
+        if self.kind == "perfect":
+            return PerfectChannel()
+        if self.kind == "bernoulli":
+            return BernoulliChannel(self.loss, seed=seed)
+        return ScriptedChannel(list(self.windows))
+
+    def describe(self) -> str:
+        """Short human-readable description for reports."""
+        if self.kind == "bernoulli":
+            return f"bernoulli(p={self.loss:g})"
+        if self.kind == "scripted":
+            spans = ", ".join(f"[{s:g},{e:g}]" for s, e in self.windows)
+            return f"scripted({spans})"
+        return self.kind
+
+
+@dataclass(frozen=True)
+class SurgeonSpec:
+    """Declarative scripted surgeon (``None`` spec = stochastic default)."""
+
+    requests_at: Tuple[float, ...] = ()
+    cancels_at: Tuple[float, ...] = ()
+
+    def build(self) -> ScriptedSurgeon:
+        """Materialize the scripted surgeon process for one trial."""
+        return ScriptedSurgeon(requests_at=list(self.requests_at),
+                               cancels_at=list(self.cancels_at))
+
+
+@dataclass(frozen=True)
+class TrialSpec:
+    """One cell of a campaign: a trial family to replicate.
+
+    Attributes:
+        label: Group label under which replicates aggregate (one results
+            row per label).
+        with_lease: Trial mode (Table I's first column).
+        mean_toff: Surgeon E(Toff) override (``None`` keeps the config's).
+        duration: Trial-length override in seconds (``None`` defers to the
+            campaign default, then to ``config.trial_duration``).
+        channel: Wireless loss model description.
+        surgeon: Scripted surgeon description (``None`` = stochastic).
+        supervisor_resend_limit: Override of the supervisor's cancel/abort
+            retransmission budget (``None`` keeps the config's).
+        replicates: Number of independent trials of this cell.
+        seeds: Explicit per-replicate seeds.  When given they take priority
+            over seeds derived from the campaign master seed — the serial
+            experiment drivers use this to reproduce their historical
+            numbers exactly.
+        params: Free-form ``(name, value)`` pairs recording the swept
+            parameters, so result builders need not parse labels.
+    """
+
+    label: str
+    with_lease: bool = True
+    mean_toff: float | None = None
+    duration: float | None = None
+    channel: ChannelSpec = field(default_factory=ChannelSpec)
+    surgeon: SurgeonSpec | None = None
+    supervisor_resend_limit: int | None = None
+    replicates: int = 1
+    seeds: Tuple[int, ...] | None = None
+    params: Tuple[Tuple[str, object], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.replicates < 1:
+            raise ValueError("replicates must be at least 1")
+        if self.seeds is not None and not self.seeds:
+            raise ValueError("explicit seeds must be non-empty (or None)")
+
+    @property
+    def effective_replicates(self) -> int:
+        """Replicate count, honouring an explicit seed list."""
+        if self.seeds is not None:
+            return max(self.replicates, len(self.seeds))
+        return self.replicates
+
+    @property
+    def param_dict(self) -> Dict[str, object]:
+        """The swept parameters as a dictionary."""
+        return dict(self.params)
+
+    def configure(self, base: CaseStudyConfig) -> CaseStudyConfig:
+        """Apply this spec's configuration overrides to ``base``."""
+        config = base
+        if self.mean_toff is not None:
+            config = config.with_mean_toff(self.mean_toff)
+        if self.supervisor_resend_limit is not None:
+            config = replace(config,
+                             supervisor_resend_limit=self.supervisor_resend_limit)
+        return config
+
+    @property
+    def mode(self) -> str:
+        """``"with lease"`` or ``"without lease"``."""
+        return mode_label(self.with_lease)
+
+
+@dataclass(frozen=True)
+class TrialRun:
+    """One concrete trial of an expanded campaign (fully determined)."""
+
+    index: int
+    spec_index: int
+    replicate: int
+    seed: int
+    spec: TrialSpec
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """A whole Monte-Carlo campaign: base configuration plus trial cells.
+
+    Attributes:
+        name: Campaign identifier (seed-derivation namespace).
+        trials: The trial cells, in presentation order.
+        config: Base case-study configuration shared by every trial.
+        duration: Campaign-wide trial-length default (``None`` defers to
+            ``config.trial_duration``).
+    """
+
+    name: str
+    trials: Tuple[TrialSpec, ...]
+    config: CaseStudyConfig = field(default_factory=CaseStudyConfig)
+    duration: float | None = None
+
+    def __post_init__(self) -> None:
+        if not self.trials:
+            raise ValueError("a campaign needs at least one trial spec")
+
+    @property
+    def total_trials(self) -> int:
+        """Number of concrete trials the campaign expands to."""
+        return sum(t.effective_replicates for t in self.trials)
+
+    def scaled(self, replicates: int) -> "CampaignSpec":
+        """Copy of the campaign with every cell's replicate count replaced.
+
+        Explicit seed lists are dropped in the copy: a scaled campaign
+        derives all of its seeds from the master seed, which is what keeps
+        10-100x replicate counts deterministic without enumerating seeds.
+        """
+        if replicates < 1:
+            raise ValueError("replicates must be at least 1")
+        trials = tuple(replace(t, replicates=replicates, seeds=None)
+                       for t in self.trials)
+        return replace(self, trials=trials)
+
+    def expand(self, master_seed: int) -> List[TrialRun]:
+        """Expand the campaign into concrete, deterministically-seeded runs.
+
+        The seed of a run depends only on the master seed and the run's
+        position in the spec — never on scheduling — so any worker count
+        produces the same trials.
+        """
+        runs: List[TrialRun] = []
+        for spec_index, trial in enumerate(self.trials):
+            for replicate in range(trial.effective_replicates):
+                if trial.seeds is not None and replicate < len(trial.seeds):
+                    seed = int(trial.seeds[replicate])
+                else:
+                    seed = derive_seed(
+                        master_seed,
+                        f"campaign:{self.name}:{spec_index}:{replicate}")
+                runs.append(TrialRun(index=len(runs), spec_index=spec_index,
+                                     replicate=replicate, seed=seed, spec=trial))
+        return runs
+
+
+def expand_grid(**axes: Sequence[object]) -> Iterator[Dict[str, object]]:
+    """Yield every combination of the given parameter axes.
+
+    The cartesian-product helper behind joint sweeps (e.g. loss-rate x
+    E(Toff) grids)::
+
+        for point in expand_grid(loss=(0.0, 0.3), mean_toff=(18.0, 6.0)):
+            ...  # {"loss": 0.0, "mean_toff": 18.0}, ...
+    """
+    names = list(axes)
+    for values in itertools.product(*(axes[name] for name in names)):
+        yield dict(zip(names, values))

@@ -268,32 +268,33 @@ def run_trial(config: CaseStudyConfig, *, with_lease: bool = True,
 def run_table1_trials(config: CaseStudyConfig | None = None, *,
                       mean_toffs: Sequence[float] = (18.0, 6.0),
                       seed: int = 2013,
-                      duration: float | None = None) -> List[TrialResult]:
+                      duration: float | None = None,
+                      max_workers: int = 1) -> List[TrialResult]:
     """Run the four trials of Table I (with/without lease x E(Toff) values).
+
+    Routes through the campaign layer; trial seeds are pinned to the
+    historical per-trial derivation, so results are identical for any
+    worker count and to the pre-campaign serial loop.
 
     Args:
         config: Base case-study configuration (paper defaults when omitted).
         mean_toffs: Surgeon E(Toff) values, one pair of trials per value.
         seed: Master seed; each trial derives its own sub-seed.
         duration: Optional trial-length override (the paper uses 30 minutes).
+        max_workers: Worker processes (1 = serial in-process execution).
 
     Returns:
         Trial results ordered exactly like the rows of Table I.
     """
-    base = config or CaseStudyConfig()
-    results: List[TrialResult] = []
-    for toff_index, mean_toff in enumerate(mean_toffs):
-        for mode_index, with_lease in enumerate((True, False)):
-            trial_seed = seed + 101 * toff_index + 13 * mode_index
-            trial_config = base.with_mean_toff(mean_toff)
-            results.append(run_trial(trial_config, with_lease=with_lease,
-                                     seed=trial_seed, duration=duration))
-    # Order rows like the paper: grouped by E(Toff), lease first.
-    ordered: List[TrialResult] = []
-    for toff_index in range(len(mean_toffs)):
-        ordered.append(results[2 * toff_index])
-        ordered.append(results[2 * toff_index + 1])
-    return ordered
+    # Imported lazily: repro.campaign builds on this module.
+    from repro.campaign.executor import run_campaign
+    from repro.campaign.presets import table1_spec
+
+    spec = table1_spec(config, mean_toffs=mean_toffs, duration=duration,
+                       legacy_seed=seed)
+    campaign = run_campaign(spec, seed=seed, max_workers=max_workers,
+                            payload="full")
+    return list(campaign.results)
 
 
 def summarize_trials(results: Sequence[TrialResult]) -> Dict[str, object]:

@@ -20,7 +20,7 @@ a feasible configuration from the safeguard requirements alone.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Dict, List, Sequence
 
 from repro.core.rules import PTEOrderSpec, PTERuleSet

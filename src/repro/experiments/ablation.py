@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from dataclasses import replace
 
-from repro.casestudy.config import CaseStudyConfig, LASER, VENTILATOR
+from repro.casestudy.config import CaseStudyConfig
 from repro.casestudy.emulation import run_trial
 from repro.casestudy.surgeon import ScriptedSurgeon
 from repro.core.configuration import EntityTiming

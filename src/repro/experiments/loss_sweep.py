@@ -6,55 +6,29 @@ lease design and of the no-lease baseline.  The lease design must stay
 failure-free at every loss level (Theorem 1 promises safety under
 *arbitrary* loss); the baseline's failures grow with the loss rate, and its
 effective throughput (laser emissions per trial) collapses.
+
+The sweep is a campaign: every (loss level, mode) cell is a
+:class:`~repro.campaign.spec.TrialSpec`, so scaling the trial counts or
+fanning out across processes is a parameter change, not new code.
 """
 
 from __future__ import annotations
 
 from typing import Sequence
 
+from repro.campaign.executor import run_campaign
+from repro.campaign.presets import loss_sweep_result, loss_sweep_spec
 from repro.casestudy.config import CaseStudyConfig
-from repro.casestudy.emulation import run_trial
 from repro.experiments.runner import ExperimentResult
-from repro.wireless.channel import BernoulliChannel
 
 
 def run_loss_sweep(*, config: CaseStudyConfig | None = None,
                    loss_levels: Sequence[float] = (0.0, 0.1, 0.3, 0.5, 0.7, 0.9),
-                   duration: float = 900.0, seeds: Sequence[int] = (1, 2)) -> ExperimentResult:
+                   duration: float = 900.0, seeds: Sequence[int] = (1, 2),
+                   max_workers: int = 1) -> ExperimentResult:
     """Sweep loss probability and compare lease vs. no-lease outcomes."""
-    config = config or CaseStudyConfig()
-    rows = []
-    lease_failures_total = 0
-    baseline_failures_by_level = {}
-    for loss in loss_levels:
-        for with_lease in (True, False):
-            emissions = failures = evt_to_stop = 0
-            for seed in seeds:
-                channel = BernoulliChannel(loss, seed=seed)
-                result = run_trial(config, with_lease=with_lease, seed=seed,
-                                   duration=duration, channel=channel)
-                emissions += result.laser_emissions
-                failures += result.failures
-                evt_to_stop += result.evt_to_stop
-            rows.append([loss, "with lease" if with_lease else "without lease",
-                         emissions, failures, evt_to_stop])
-            if with_lease:
-                lease_failures_total += failures
-            else:
-                baseline_failures_by_level[loss] = failures
-    high_loss_baseline_fails = any(
-        failures > 0 for loss, failures in baseline_failures_by_level.items()
-        if loss >= 0.5)
-    return ExperimentResult(
-        experiment="loss_sweep",
-        title="Extension: failures vs. packet-loss probability (lease vs. no lease)",
-        headers=["loss probability", "mode", "emissions", "failures", "evtToStop"],
-        rows=rows,
-        notes=[f"each cell aggregates {len(seeds)} trials of {duration:.0f}s",
-               "Theorem 1 promises lease safety under arbitrary loss, so the "
-               "with-lease failure column must be all zeros"],
-        checks={
-            "lease_safe_at_every_loss_level": lease_failures_total == 0,
-            "baseline_fails_under_heavy_loss": high_loss_baseline_fails,
-        },
-    )
+    spec = loss_sweep_spec(config, loss_levels=loss_levels, duration=duration,
+                           seeds=seeds)
+    campaign = run_campaign(spec, seed=min(seeds, default=0),
+                            max_workers=max_workers)
+    return loss_sweep_result(campaign)

@@ -16,70 +16,23 @@ baseline:
   recovery also blacked out) the pause exceeds the 1-minute bound.
 * The third scenario (misconfigured ``T^max_enter`` violating condition c5)
   is covered by the ``ablation_c5`` experiment.
+
+Each story is a deterministic :class:`~repro.campaign.spec.TrialSpec`
+(scripted surgeon, scripted loss windows, no supervisor retransmissions,
+pinned seed) executed through the campaign layer.
 """
 
 from __future__ import annotations
 
-from dataclasses import replace
-
-from repro.casestudy.config import CaseStudyConfig, LASER, VENTILATOR
-from repro.casestudy.emulation import run_trial
-from repro.casestudy.surgeon import ScriptedSurgeon
+from repro.campaign.executor import run_campaign
+from repro.campaign.presets import scenarios_result, scenarios_spec
+from repro.casestudy.config import CaseStudyConfig
 from repro.experiments.runner import ExperimentResult
-from repro.wireless.channel import ScriptedChannel
 
 
-def _scenario_trial(config: CaseStudyConfig, *, with_lease: bool,
-                    surgeon: ScriptedSurgeon, loss_windows, horizon: float):
-    """Run one deterministic scenario trial."""
-    channel = ScriptedChannel(loss_windows)
-    return run_trial(config, with_lease=with_lease, seed=0, duration=horizon,
-                     channel=channel, surgeon=surgeon, keep_trace=True)
-
-
-def run_scenarios(*, config: CaseStudyConfig | None = None) -> ExperimentResult:
+def run_scenarios(*, config: CaseStudyConfig | None = None,
+                  max_workers: int = 1) -> ExperimentResult:
     """Run the scripted Section V scenarios with and without leases."""
-    config = config or CaseStudyConfig()
-    # Disable supervisor retransmissions: the paper's stories assume single
-    # sends, and retransmissions would mask the no-lease failures here.
-    config = replace(config, supervisor_resend_limit=0)
-    horizon = 240.0
-    rows = []
-    checks = {}
-
-    # Scenario 1: forgetful surgeon + blacked-out abort path.
-    #   request at t=14, never cancels; all wireless traffic after t=30 lost.
-    for with_lease in (True, False):
-        surgeon = ScriptedSurgeon(requests_at=[14.0])
-        result = _scenario_trial(config, with_lease=with_lease, surgeon=surgeon,
-                                 loss_windows=[(30.0, horizon)], horizon=horizon)
-        rows.append(["forgetful surgeon", "with lease" if with_lease else "without lease",
-                     round(result.max_emission_duration, 1),
-                     round(result.max_pause_duration, 1), result.failures])
-        key = "forgetful_surgeon_" + ("lease_safe" if with_lease else "baseline_fails")
-        checks[key] = (result.failures == 0) if with_lease else (result.failures > 0)
-
-    # Scenario 2: surgeon cancels at t=40 but every wireless packet from
-    # t=38 onward is lost, so the supervisor never learns about it and its
-    # own cancel to the ventilator is lost as well.
-    for with_lease in (True, False):
-        surgeon = ScriptedSurgeon(requests_at=[14.0], cancels_at=[40.0])
-        result = _scenario_trial(config, with_lease=with_lease, surgeon=surgeon,
-                                 loss_windows=[(38.0, horizon)], horizon=horizon)
-        rows.append(["lost cancel", "with lease" if with_lease else "without lease",
-                     round(result.max_emission_duration, 1),
-                     round(result.max_pause_duration, 1), result.failures])
-        key = "lost_cancel_" + ("lease_safe" if with_lease else "baseline_fails")
-        checks[key] = (result.failures == 0) if with_lease else (result.failures > 0)
-
-    return ExperimentResult(
-        experiment="scenarios",
-        title="Section V failure scenarios under scripted losses (lease vs. no lease)",
-        headers=["scenario", "mode", "max emission (s)", "max pause (s)", "failures"],
-        rows=rows,
-        notes=["scenario 3 (T_enter misconfiguration violating c5) is the "
-               "ablation_c5 experiment",
-               "with leases the laser stops within T_run,2=20 s and the ventilator "
-               "resumes within T_run,1=35 s even under a total blackout"],
-        checks=checks,
-    )
+    spec = scenarios_spec(config)
+    campaign = run_campaign(spec, seed=0, max_workers=max_workers)
+    return scenarios_result(campaign)

@@ -14,14 +14,21 @@ the result's checks:
 * "without Lease" trials do exhibit failures;
 * lease expirations (``evtToStop``) occur only in "with Lease" trials and
   are more frequent for the longer E(Toff).
+
+The trials execute through the campaign layer: ``replicates`` scales each
+of the four cells to a Monte-Carlo batch and ``max_workers`` fans the
+batch out across processes, with bit-identical aggregates for any worker
+count (``python -m repro.campaign --experiment table1`` exposes the same
+knobs on the command line).
 """
 
 from __future__ import annotations
 
 from typing import Sequence
 
+from repro.campaign.executor import run_campaign
+from repro.campaign.presets import table1_result, table1_spec
 from repro.casestudy.config import CaseStudyConfig
-from repro.casestudy.emulation import run_table1_trials, summarize_trials
 from repro.experiments.runner import ExperimentResult
 
 #: The rows of the paper's Table I, for side-by-side comparison.
@@ -35,45 +42,22 @@ PAPER_TABLE1 = (
 
 def run_table1(*, config: CaseStudyConfig | None = None, seed: int = 42,
                duration: float | None = None,
-               mean_toffs: Sequence[float] = (18.0, 6.0)) -> ExperimentResult:
+               mean_toffs: Sequence[float] = (18.0, 6.0),
+               replicates: int = 1, max_workers: int = 1) -> ExperimentResult:
     """Run the Table I reproduction and compare its shape against the paper.
 
     Args:
         config: Case-study configuration (paper defaults when omitted).
-        seed: Master seed for the four trials.
+        seed: Master seed for the trials.
         duration: Trial length override (defaults to the paper's 30 minutes;
             tests use shorter trials).
         mean_toffs: Surgeon E(Toff) values, one trial pair per value.
+        replicates: Independent trials per Table I cell (1 reproduces the
+            paper's single-trial table; more turns each row into a
+            Monte-Carlo aggregate).
+        max_workers: Worker processes for the campaign executor.
     """
-    results = run_table1_trials(config, seed=seed, duration=duration,
-                                mean_toffs=mean_toffs)
-    summary = summarize_trials(results)
-    headers = ["Trial Mode", "E(Toff) (s)", "# Laser Emissions", "# Failures",
-               "# evtToStop", "max pause (s)", "max emission (s)", "loss ratio"]
-    rows = [[r.mode, r.mean_toff, r.laser_emissions, r.failures, r.evt_to_stop,
-             round(r.max_pause_duration, 1), round(r.max_emission_duration, 1),
-             round(r.observed_loss_ratio, 2)] for r in results]
-
-    with_lease = [r for r in results if r.with_lease]
-    without_lease = [r for r in results if not r.with_lease]
-    long_toff_stop = sum(r.evt_to_stop for r in with_lease if r.mean_toff >= 18.0)
-    result = ExperimentResult(
-        experiment="table1",
-        title="Table I: PTE safety rule violation (failure) statistics of emulation trials",
-        headers=headers,
-        rows=rows,
-        notes=[
-            "paper rows (mode, E(Toff), emissions, failures, evtToStop): "
-            + "; ".join(str(row) for row in PAPER_TABLE1),
-            "losses come from a calibrated Gilbert-Elliott burst channel instead of a "
-            "physical 802.11g interferer; absolute counts differ, the win/lose shape "
-            "must not.",
-        ],
-        checks={
-            "with_lease_never_fails": summary["lease_always_safe"],
-            "baseline_does_fail": summary["baseline_fails"],
-            "evt_to_stop_only_with_lease": all(r.evt_to_stop == 0 for r in without_lease),
-            "lease_forced_stops_happen": long_toff_stop > 0,
-        },
-    )
-    return result
+    spec = table1_spec(config, mean_toffs=mean_toffs, duration=duration,
+                       replicates=replicates, legacy_seed=seed)
+    campaign = run_campaign(spec, seed=seed, max_workers=max_workers)
+    return table1_result(campaign)

@@ -23,7 +23,7 @@ from typing import Dict, Iterable, Mapping, Sequence
 
 from repro.errors import ModelError
 from repro.hybrid.edges import Edge
-from repro.hybrid.labels import Prefix, SyncLabel
+from repro.hybrid.labels import SyncLabel
 from repro.hybrid.locations import Location
 from repro.hybrid.variables import Valuation, zero_valuation
 

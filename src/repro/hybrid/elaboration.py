@@ -29,8 +29,7 @@ from typing import Sequence
 
 from repro.errors import ElaborationError, IndependenceError
 from repro.hybrid.automaton import HybridAutomaton
-from repro.hybrid.edges import Edge
-from repro.hybrid.flows import CompositeFlow, ConstantFlow
+from repro.hybrid.flows import CompositeFlow
 from repro.hybrid.expressions import And, TRUE, TruePredicate
 from repro.hybrid.locations import Location
 

@@ -15,7 +15,7 @@ whereas events between automata of the same entity are local and reliable.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Mapping
+from typing import Dict, Mapping
 
 from repro.errors import ModelError
 from repro.hybrid.automaton import HybridAutomaton

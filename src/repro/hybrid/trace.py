@@ -15,8 +15,8 @@ be done offline.
 from __future__ import annotations
 
 import bisect
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Sequence
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping
 
 from repro.util.timebase import EPSILON
 

@@ -24,6 +24,17 @@ def _stable_mix(seed: int, stream: str) -> int:
     return int.from_bytes(digest[:8], "big")
 
 
+def derive_seed(seed: int, stream: str) -> int:
+    """Derive a deterministic 31-bit child seed for a named stream.
+
+    The campaign executor uses this to give every trial of a batch its own
+    decorrelated seed, keyed only by the master seed and the trial's
+    position in the campaign spec — never by scheduling — so any worker
+    count reproduces the same trials.
+    """
+    return _stable_mix(seed, stream) & 0x7FFFFFFF
+
+
 def spawn_rng(seed: int | None, stream: str = "") -> random.Random:
     """Create an independent ``random.Random`` for a named stream.
 
@@ -61,7 +72,7 @@ class SeedSequenceFactory:
 
     def child_seed(self, index: int) -> int:
         """Return a deterministic child seed for trial number ``index``."""
-        return _stable_mix(self._master_seed, f"trial:{int(index)}") & 0x7FFFFFFF
+        return derive_seed(self._master_seed, f"trial:{int(index)}")
 
     def child_seeds(self, count: int) -> list[int]:
         """Return ``count`` deterministic child seeds."""

@@ -1,0 +1,161 @@
+"""Tests of the Monte-Carlo campaign runner.
+
+The two load-bearing guarantees:
+
+* determinism — the same master seed yields byte-identical aggregate
+  summaries no matter how many worker processes execute the trials;
+* compatibility — Table I routed through the campaign layer reproduces the
+  pre-campaign serial loop's numbers exactly.
+"""
+
+import json
+
+import pytest
+
+from repro.campaign import (CampaignSpec, ChannelSpec, SurgeonSpec, TrialSpec,
+                            expand_grid, run_campaign, table1_spec)
+from repro.campaign.cli import main as campaign_main
+from repro.casestudy import CaseStudyConfig, run_table1_trials, run_trial
+from repro.experiments import run_table1
+from repro.util.seeding import derive_seed
+
+
+class TestSpecExpansion:
+    def test_seeds_depend_only_on_position(self):
+        spec = table1_spec(replicates=3)
+        first = spec.expand(7)
+        second = spec.expand(7)
+        assert [r.seed for r in first] == [r.seed for r in second]
+        assert len(first) == 4 * 3
+        assert [r.index for r in first] == list(range(12))
+
+    def test_different_master_seeds_decorrelate(self):
+        spec = table1_spec(replicates=2)
+        assert ([r.seed for r in spec.expand(1)]
+                != [r.seed for r in spec.expand(2)])
+
+    def test_explicit_seeds_take_priority(self):
+        spec = CampaignSpec(
+            name="pinned",
+            trials=(TrialSpec(label="a", seeds=(11, 22), replicates=3),))
+        runs = spec.expand(99)
+        assert len(runs) == 3
+        assert runs[0].seed == 11 and runs[1].seed == 22
+        assert runs[2].seed == derive_seed(99, "campaign:pinned:0:2")
+
+    def test_scaled_drops_explicit_seeds(self):
+        spec = CampaignSpec(
+            name="pinned",
+            trials=(TrialSpec(label="a", seeds=(11,)),))
+        scaled = spec.scaled(5)
+        assert scaled.total_trials == 5
+        assert all(t.seeds is None for t in scaled.trials)
+
+    def test_expand_grid_is_cartesian(self):
+        points = list(expand_grid(loss=(0.0, 0.5), mean_toff=(18.0, 6.0)))
+        assert len(points) == 4
+        assert {(p["loss"], p["mean_toff"]) for p in points} == {
+            (0.0, 18.0), (0.0, 6.0), (0.5, 18.0), (0.5, 6.0)}
+
+    def test_channel_spec_validates(self):
+        with pytest.raises(ValueError):
+            ChannelSpec("wat")
+        with pytest.raises(ValueError):
+            ChannelSpec("bernoulli", loss=1.5)
+        assert ChannelSpec().build(1) is None
+        assert ChannelSpec("bernoulli", loss=0.3).build(1) is not None
+
+    def test_trial_spec_overrides_config(self):
+        base = CaseStudyConfig()
+        spec = TrialSpec(label="x", mean_toff=6.0, supervisor_resend_limit=0)
+        config = spec.configure(base)
+        assert config.surgeon.mean_toff == 6.0
+        assert config.supervisor_resend_limit == 0
+        # the base configuration is untouched
+        assert base.surgeon.mean_toff == 18.0
+
+
+class TestDeterminism:
+    def test_workers_do_not_change_aggregates(self):
+        # Same master seed must yield byte-identical aggregate summaries for
+        # serial and process-pool execution.
+        spec = table1_spec(duration=150.0, replicates=2)
+        serial = run_campaign(spec, seed=7, max_workers=1)
+        parallel = run_campaign(spec, seed=7, max_workers=4)
+        serial_payload = json.dumps(serial.to_json()["campaign"], sort_keys=True)
+        parallel_payload = json.dumps(parallel.to_json()["campaign"], sort_keys=True)
+        assert serial_payload == parallel_payload
+        assert serial.total_trials == 8
+
+    def test_streaming_callback_sees_every_trial(self):
+        spec = table1_spec(duration=100.0)
+        seen = []
+        result = run_campaign(spec, seed=3, max_workers=1,
+                              on_result=seen.append)
+        assert len(seen) == result.total_trials == 4
+        assert {s.label for s in seen} == {t.label for t in spec.trials}
+
+    def test_full_payload_collects_trial_results(self):
+        spec = table1_spec(duration=100.0)
+        result = run_campaign(spec, seed=3, max_workers=1, payload="full")
+        assert result.results is not None and len(result.results) == 4
+        assert all(r.trace is None for r in result.results)  # memory-safe
+        assert [r.failures for r in result.results] == [
+            s.failures for s in result.summaries]
+
+
+class TestTable1Compatibility:
+    def test_campaign_matches_pre_refactor_serial_loop(self):
+        # The historical serial loop, inlined: this is what run_table1 did
+        # before the campaign layer existed.  The campaign path must
+        # reproduce its rows bit-for-bit.
+        base = CaseStudyConfig()
+        legacy_rows = []
+        for toff_index, mean_toff in enumerate((18.0, 6.0)):
+            for mode_index, with_lease in enumerate((True, False)):
+                trial_seed = 42 + 101 * toff_index + 13 * mode_index
+                r = run_trial(base.with_mean_toff(mean_toff),
+                              with_lease=with_lease, seed=trial_seed,
+                              duration=300.0)
+                legacy_rows.append([
+                    r.mode, r.mean_toff, r.laser_emissions, r.failures,
+                    r.evt_to_stop, round(r.max_pause_duration, 1),
+                    round(r.max_emission_duration, 1),
+                    round(r.observed_loss_ratio, 2)])
+
+        result = run_table1(seed=42, duration=300.0)
+        assert [list(row) for row in result.rows] == legacy_rows
+
+    def test_run_table1_trials_parallel_equals_serial(self):
+        serial = run_table1_trials(seed=11, duration=200.0, max_workers=1)
+        parallel = run_table1_trials(seed=11, duration=200.0, max_workers=2)
+        assert [r.table_row() for r in serial] == [r.table_row() for r in parallel]
+        assert [r.seed for r in serial] == [r.seed for r in parallel]
+
+    def test_replicates_aggregate_per_cell(self):
+        result = run_table1(seed=5, duration=120.0, replicates=2)
+        assert len(result.rows) == 4          # one row per Table I cell
+        assert all(row[2] == 2 for row in result.rows)  # "# trials" column
+
+
+class TestScenarioSpec:
+    def test_scripted_surgeon_spec_builds(self):
+        surgeon = SurgeonSpec(requests_at=(14.0,), cancels_at=(40.0,)).build()
+        assert surgeon.next_wakeup(0.0) == 14.0
+
+
+class TestCLI:
+    def test_scenarios_run_passes_and_writes_json(self, tmp_path, capsys):
+        out = tmp_path / "scenarios.json"
+        code = campaign_main(["--experiment", "scenarios", "--quiet",
+                              "--json", str(out)])
+        assert code == 0
+        stdout = capsys.readouterr().out
+        assert "checks: PASS" in stdout
+        payload = json.loads(out.read_text())
+        assert payload["campaign"]["total_trials"] == 4
+        assert payload["experiment"]["checks"]["forgetful_surgeon_lease_safe"]
+
+    def test_rejects_bad_arguments(self):
+        assert campaign_main(["--replicates", "0"]) == 2
+        assert campaign_main(["--workers", "-1"]) == 2

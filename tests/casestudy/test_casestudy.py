@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.casestudy import (CaseStudyConfig, EMITTING_LOCATION, LASER, PATIENT, SPO2,
+from repro.casestudy import (CaseStudyConfig, LASER, PATIENT, SPO2,
                              SUPERVISOR, VENTILATOR, build_case_study, build_patient,
                              build_standalone_ventilator, build_ventilator,
                              build_laser, lease_ledger_from_trace, run_trial,

@@ -6,7 +6,7 @@ from repro.core import (build_baseline_system, build_pattern_system, check_trace
                         laser_tracheotomy_configuration, strip_lease, has_lease,
                         synthesize_configuration)
 from repro.core.pattern import events
-from repro.core.pattern.roles import (ENTERING, EXITING_1, FALL_BACK, REQUESTING,
+from repro.core.pattern.roles import (ENTERING, EXITING_1, FALL_BACK,
                                       RISKY_CORE, qualified)
 from repro.errors import ConfigurationError
 from repro.hybrid import CallbackProcess, SimulationEngine

@@ -148,7 +148,6 @@ class TestPathologies:
             SimulationEngine(system, max_cascade=50).run(1.0)
 
     def test_deterministic_given_seed(self):
-        from repro.core import laser_tracheotomy_configuration, build_pattern_system
         from repro.casestudy import CaseStudyConfig, run_trial
 
         config = CaseStudyConfig()

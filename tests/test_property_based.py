@@ -4,8 +4,8 @@ import math
 
 from hypothesis import given, settings, strategies as st
 
-from repro.core import (EntityTiming, IntervalSet, PTEMonitor, check_conditions,
-                        synthesize_configuration, uniform_rules)
+from repro.core import (IntervalSet, PTEMonitor, check_conditions,
+                        synthesize_configuration)
 from repro.core.intervals import Interval
 from repro.hybrid.expressions import var_ge, var_le
 from repro.hybrid.variables import Valuation

@@ -50,7 +50,7 @@ class TestProperties:
 
     def test_auto_reset_property(self):
         trace = self._safe_trace()
-        prop = auto_reset_property(
+        auto_reset_property(
             ["ventilator", "laser_scalpel"],
             {"ventilator": "PumpOut", "laser_scalpel": "xi2.Fall-Back"},
             horizon=CONFIG.pattern.round_horizon + CONFIG.pattern.t_wait_max)
