@@ -41,3 +41,62 @@ def test_pattern_round_throughput(benchmark):
 
     trace = benchmark(one_round)
     assert trace.end_time == TRIAL_DURATION
+
+
+# ---------------------------------------------------------------------------
+# Reference vs compiled kernel on the Table I workload
+# ---------------------------------------------------------------------------
+
+#: Simulated seconds of the kernel-comparison trial (the paper's Table I
+#: trials run 30 minutes; quick mode trims the horizon, not the model).
+TABLE1_DURATION = quick(1800.0, 120.0)
+
+
+def _table1_trial(engine: str, duration: float | None = None):
+    return run_trial(CaseStudyConfig(), with_lease=True, seed=2013,
+                     duration=TABLE1_DURATION if duration is None else duration,
+                     engine=engine)
+
+
+@pytest.mark.benchmark(group="kernel")
+def test_reference_kernel_table1_trial(benchmark):
+    result = benchmark.pedantic(lambda: _table1_trial("reference"),
+                                rounds=1, iterations=1)
+    assert result.failures == 0
+
+
+@pytest.mark.benchmark(group="kernel")
+def test_compiled_kernel_table1_trial(benchmark):
+    result = benchmark.pedantic(lambda: _table1_trial("compiled"),
+                                rounds=1, iterations=1)
+    assert result.failures == 0
+
+
+def test_compiled_kernel_not_slower_than_reference():
+    """CI gate: the compiled kernel must win on the Table I workload.
+
+    One warmup trial per kernel hides import/JIT-cache noise, then a single
+    timed 30-minute-horizon trial each (the margin is ~2.5x, so run-to-run
+    jitter cannot flip the comparison).  Both kernels must also agree on
+    the Table I statistics, which pins the speedup to the same work.
+    """
+    import time
+
+    _table1_trial("reference", duration=60.0)
+    _table1_trial("compiled", duration=60.0)
+
+    started = time.perf_counter()
+    reference = _table1_trial("reference")
+    reference_s = time.perf_counter() - started
+
+    started = time.perf_counter()
+    compiled = _table1_trial("compiled")
+    compiled_s = time.perf_counter() - started
+
+    assert compiled.table_row() == reference.table_row()
+    print(f"\nreference {reference_s:.3f}s, compiled {compiled_s:.3f}s, "
+          f"speedup {reference_s / compiled_s:.2f}x over {TABLE1_DURATION:.0f}s "
+          "simulated")
+    assert compiled_s <= reference_s, (
+        f"compiled kernel regressed: {compiled_s:.3f}s vs reference "
+        f"{reference_s:.3f}s on the Table I workload")

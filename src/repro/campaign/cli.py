@@ -24,9 +24,10 @@ import sys
 from typing import Sequence
 
 from repro.campaign.aggregate import TrialSummary
-from repro.campaign.executor import default_worker_count, run_campaign
+from repro.campaign.executor import PAYLOAD_KINDS, default_worker_count, run_campaign
 from repro.campaign.presets import PRESETS
 from repro.campaign.spec import CampaignSpec
+from repro.hybrid.simulate import ENGINE_KINDS
 
 
 def _csv_floats(text: str) -> tuple[float, ...]:
@@ -64,6 +65,15 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--loss-levels", type=_csv_floats, default=None,
                         metavar="CSV", help="packet-loss probabilities "
                         "(loss_sweep/grid; e.g. 0,0.3,0.6,0.9)")
+    parser.add_argument("--payload", choices=PAYLOAD_KINDS, default="summary",
+                        help="per-trial payload: slim summaries, streaming "
+                             "stats (full TrialResult, trace-free), or the "
+                             "legacy trace-scanning full mode "
+                             "(default: summary)")
+    parser.add_argument("--engine", choices=ENGINE_KINDS, default=None,
+                        help="simulation kernel; default honours REPRO_ENGINE "
+                             "and falls back to the reference engine "
+                             "(both kernels are bit-identical)")
     parser.add_argument("--json", default=None, metavar="PATH",
                         help="write the full campaign result as JSON")
     parser.add_argument("--quiet", action="store_true",
@@ -133,6 +143,7 @@ def main(argv: Sequence[str] | None = None) -> int:
                   f"{summary.failures} failures [{verdict}]")
 
     campaign = run_campaign(spec, seed=args.seed, max_workers=workers,
+                            payload=args.payload, engine=args.engine,
                             on_result=progress)
     result = preset.to_result(campaign)
     print()

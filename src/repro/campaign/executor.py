@@ -25,8 +25,17 @@ from repro.campaign.spec import CampaignSpec, TrialRun
 from repro.casestudy.config import CaseStudyConfig
 from repro.casestudy.emulation import TrialResult, run_trial
 
-#: Payload modes: slim summaries (default) or full TrialResult objects.
-PAYLOAD_KINDS = ("summary", "full")
+#: Payload modes, in increasing weight:
+#:
+#: * ``"summary"`` -- slim :class:`TrialSummary` records only (default);
+#: * ``"stats"``  -- additionally the full :class:`TrialResult` per trial,
+#:   with monitor report and lease ledger computed by the streaming
+#:   observer pipeline (no trace is ever materialised, so worker memory
+#:   stays flat regardless of the horizon);
+#: * ``"full"``   -- like ``"stats"`` but through the legacy record-a-trace
+#:   path (the post-hoc oracle; heavier, numbers identical).  The trace is
+#:   dropped before the result leaves the worker.
+PAYLOAD_KINDS = ("summary", "stats", "full")
 
 #: Keep at most this many futures in flight per worker, so that expanding a
 #: 100x campaign does not materialize every pending future up front.
@@ -40,12 +49,14 @@ def default_worker_count() -> int:
 
 def execute_trial(config: CaseStudyConfig, campaign_duration: float | None,
                   run: TrialRun, payload: str = "summary",
+                  engine: str | None = None,
                   ) -> Tuple[int, TrialSummary, TrialResult | None]:
     """Execute one concrete trial (runs inside a worker process).
 
     Returns the run index (for order restoration), the slim summary, and —
-    when ``payload="full"`` — the complete :class:`TrialResult` (without
-    its trace, which is memory heavy and scheduling sensitive).
+    for the ``"stats"`` / ``"full"`` payloads — the complete
+    :class:`TrialResult` (without its trace, which is memory heavy and
+    scheduling sensitive).
     """
     if payload not in PAYLOAD_KINDS:
         raise ValueError(f"unknown payload kind {payload!r}")
@@ -55,13 +66,17 @@ def execute_trial(config: CaseStudyConfig, campaign_duration: float | None,
     channel = spec.channel.build(run.seed)
     surgeon = spec.surgeon.build() if spec.surgeon is not None else None
     result = run_trial(trial_config, with_lease=spec.with_lease, seed=run.seed,
-                       duration=duration, channel=channel, surgeon=surgeon)
+                       duration=duration, channel=channel, surgeon=surgeon,
+                       keep_trace=(payload == "full"), engine=engine)
+    if result.trace is not None:
+        result.trace = None
     summary = TrialSummary.from_trial(run, result)
-    return run.index, summary, (result if payload == "full" else None)
+    return run.index, summary, (result if payload != "summary" else None)
 
 
 def run_campaign(spec: CampaignSpec, *, seed: int = 0, max_workers: int = 1,
                  payload: str = "summary",
+                 engine: str | None = None,
                  on_result: Callable[[TrialSummary], None] | None = None,
                  ) -> CampaignResult:
     """Run a whole campaign, serially or across worker processes.
@@ -73,8 +88,15 @@ def run_campaign(spec: CampaignSpec, *, seed: int = 0, max_workers: int = 1,
         max_workers: Worker processes; ``1`` runs the trials serially in
             this process (no pool, no pickling).
         payload: ``"summary"`` keeps only slim per-trial statistics;
-            ``"full"`` additionally collects each trial's
-            :class:`~repro.casestudy.emulation.TrialResult`.
+            ``"stats"`` additionally collects each trial's
+            :class:`~repro.casestudy.emulation.TrialResult` computed by the
+            streaming observer pipeline (trace-free, flat memory);
+            ``"full"`` collects the same results through the legacy
+            record-a-trace path.
+        engine: Simulation kernel executing the trials (``"reference"`` /
+            ``"compiled"``); ``None`` defers to ``REPRO_ENGINE`` and then
+            to the reference kernel.  Both kernels are bit-identical, so
+            this only affects throughput.
         on_result: Optional streaming callback, fired once per trial in
             completion order (useful for progress reporting; aggregation
             itself never depends on completion order).
@@ -100,7 +122,8 @@ def run_campaign(spec: CampaignSpec, *, seed: int = 0, max_workers: int = 1,
 
     if max_workers == 1 or len(runs) == 1:
         for run in runs:
-            record(*execute_trial(spec.config, spec.duration, run, payload))
+            record(*execute_trial(spec.config, spec.duration, run, payload,
+                                  engine))
     else:
         workers = min(max_workers, len(runs))
         window = workers * _INFLIGHT_PER_WORKER
@@ -109,7 +132,7 @@ def run_campaign(spec: CampaignSpec, *, seed: int = 0, max_workers: int = 1,
             queue = iter(runs)
             for run in queue:
                 pending.add(pool.submit(execute_trial, spec.config,
-                                        spec.duration, run, payload))
+                                        spec.duration, run, payload, engine))
                 if len(pending) < window:
                     continue
                 done, pending = wait(pending, return_when=FIRST_COMPLETED)
@@ -129,5 +152,5 @@ def run_campaign(spec: CampaignSpec, *, seed: int = 0, max_workers: int = 1,
         workers=max_workers,
         wall_time=wall_time,
         summaries=tuple(summaries),
-        results=tuple(full) if payload == "full" else None,
+        results=tuple(full) if payload != "summary" else None,
     )

@@ -7,6 +7,7 @@ from repro.casestudy.emulation import (CaseStudySystem, TrialResult, build_case_
                                        lease_ledger_from_trace, run_table1_trials,
                                        run_trial, summarize_trials)
 from repro.casestudy.laser import EMITTING_LOCATION, SHUTOFF_LOCATION, build_laser
+from repro.casestudy.observers import VENTILATOR_RISKY_CORE, TrialStatsObserver
 from repro.casestudy.patient import SPO2, VENTILATED, build_patient, time_to_threshold
 from repro.casestudy.supervisor import SUPERVISOR_SPO2, build_tracheotomy_supervisor
 from repro.casestudy.surgeon import ScriptedSurgeon, SurgeonProcess
@@ -19,6 +20,7 @@ __all__ = [
     "SUPERVISOR", "VENTILATOR", "LASER", "PATIENT",
     "build_case_study", "run_trial", "run_table1_trials", "summarize_trials",
     "CaseStudySystem", "TrialResult", "lease_ledger_from_trace",
+    "TrialStatsObserver", "VENTILATOR_RISKY_CORE",
     "build_standalone_ventilator", "build_ventilator", "ventilating_locations",
     "CYLINDER_HEIGHT", "CYLINDER_TOP", "CYLINDER_SPEED",
     "build_laser", "EMITTING_LOCATION", "SHUTOFF_LOCATION",

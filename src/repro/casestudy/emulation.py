@@ -23,15 +23,17 @@ from typing import Dict, List, Sequence
 from repro.casestudy.config import (CaseStudyConfig, LASER, PATIENT, SUPERVISOR,
                                     VENTILATOR)
 from repro.casestudy.laser import EMITTING_LOCATION, LASER_INDEX, build_laser
+from repro.casestudy.observers import (LEASE_CORE_LOCATIONS, OUTCOME_OF_REASON,
+                                       VENTILATOR_RISKY_CORE, TrialStatsObserver,
+                                       lease_contracts)
 from repro.casestudy.patient import SPO2, VENTILATED, build_patient
 from repro.casestudy.supervisor import SUPERVISOR_SPO2, build_tracheotomy_supervisor
 from repro.casestudy.surgeon import SurgeonProcess
 from repro.casestudy.ventilator import build_ventilator, ventilating_locations
 from repro.core.leases import LeaseLedger, LeaseOutcome
 from repro.core.monitor import MonitorReport, PTEMonitor
-from repro.core.pattern.roles import RISKY_CORE, qualified
 from repro.core.rules import PTERuleSet
-from repro.hybrid.simulate.engine import SimulationEngine
+from repro.hybrid.simulate import TraceObserver, build_engine
 from repro.hybrid.simulate.processes import (Coupling, EnvironmentProcess,
                                              LocationIndicatorCoupling,
                                              VariableCopyCoupling)
@@ -40,8 +42,9 @@ from repro.hybrid.trace import Trace
 from repro.wireless.channel import Channel
 from repro.wireless.network import SinkWirelessNetwork
 
-#: Location in which the ventilator is paused and "running" its risky core.
-VENTILATOR_RISKY_CORE = qualified("xi1", RISKY_CORE)
+__all__ = ["CaseStudySystem", "TrialResult", "VENTILATOR_RISKY_CORE",
+           "build_case_study", "lease_ledger_from_trace", "run_trial",
+           "run_table1_trials", "summarize_trials"]
 
 
 @dataclass
@@ -59,17 +62,33 @@ class CaseStudySystem:
 
     def engine(self, *, seed: int | None = None,
                record_variables: Sequence[tuple[str, str]] = (),
-               sample_interval: float = 0.5) -> SimulationEngine:
-        """Build a simulation engine for one trial with the given seed."""
-        return SimulationEngine(
+               sample_interval: float = 0.5,
+               kind: str | None = None,
+               observers: Sequence[TraceObserver] = (),
+               record_trace: bool = True):
+        """Build a simulation engine for one trial with the given seed.
+
+        Args:
+            seed: Master seed for the trial's stochastic components.
+            record_variables: ``(automaton, variable)`` pairs to sample.
+            sample_interval: Sampling period for ``record_variables``.
+            kind: Simulation kernel (``"reference"`` / ``"compiled"``);
+                ``None`` defers to ``REPRO_ENGINE`` and then the reference.
+            observers: Streaming observers attached to the run.
+            record_trace: When False no trace is recorded (observers only).
+        """
+        return build_engine(
             self.system,
+            kind=kind,
             network=self.network,
             processes=[self.surgeon, *self.extra_processes],
             couplings=self.couplings,
             seed=seed,
             dt_max=self.config.dt_max,
             record_variables=record_variables,
-            sample_interval=sample_interval)
+            sample_interval=sample_interval,
+            observers=observers,
+            record_trace=record_trace)
 
 
 def build_case_study(config: CaseStudyConfig, *, with_lease: bool = True,
@@ -153,8 +172,8 @@ class TrialResult:
     surgeon_requests: int
     surgeon_cancels: int
     observed_loss_ratio: float
-    monitor: MonitorReport = field(repr=False, default=None)
-    ledger: LeaseLedger = field(repr=False, default=None)
+    monitor: MonitorReport | None = field(repr=False, default=None)
+    ledger: LeaseLedger | None = field(repr=False, default=None)
     trace: Trace | None = field(repr=False, default=None)
 
     @property
@@ -176,23 +195,13 @@ def lease_ledger_from_trace(trace: Trace, config: CaseStudyConfig) -> LeaseLedge
     expired, was aborted, or was released cooperatively.
     """
     ledger = LeaseLedger()
-    contracts = {
-        VENTILATOR: config.pattern.timing(1).t_run_max,
-        LASER: config.pattern.timing(2).t_run_max,
-    }
-    risky_core = {VENTILATOR: VENTILATOR_RISKY_CORE, LASER: EMITTING_LOCATION}
-    outcome_of_reason = {
-        "lease_expiry": LeaseOutcome.EXPIRED,
-        "abort": LeaseOutcome.ABORTED,
-        "cancel": LeaseOutcome.COMPLETED,
-        "user_cancel": LeaseOutcome.COMPLETED,
-    }
-    for entity, core_location in risky_core.items():
+    contracts = lease_contracts(config)
+    for entity, core_location in LEASE_CORE_LOCATIONS.items():
         for record in trace.transitions_of(entity):
             if record.target == core_location:
                 ledger.open(entity, record.time, contracts[entity])
             elif record.source == core_location:
-                outcome = outcome_of_reason.get(record.reason, LeaseOutcome.COMPLETED)
+                outcome = OUTCOME_OF_REASON.get(record.reason, LeaseOutcome.COMPLETED)
                 ledger.close(entity, outcome, record.time)
     return ledger
 
@@ -203,8 +212,16 @@ def run_trial(config: CaseStudyConfig, *, with_lease: bool = True,
               surgeon: SurgeonProcess | None = None,
               extra_processes: Sequence[EnvironmentProcess] = (),
               keep_trace: bool = False,
-              record_variables: Sequence[tuple[str, str]] = ()) -> TrialResult:
+              record_variables: Sequence[tuple[str, str]] = (),
+              engine: str | None = None) -> TrialResult:
     """Run one emulation trial and collect the Table I statistics.
+
+    By default the statistics stream through a
+    :class:`~repro.casestudy.observers.TrialStatsObserver`: no trace is
+    ever materialised, so memory does not grow with the trial duration.
+    ``keep_trace=True`` records the full trace instead and computes the
+    same statistics from it post hoc (the historical oracle path); the two
+    paths produce identical numbers for any seed and either kernel.
 
     Args:
         config: Case-study configuration.
@@ -214,8 +231,12 @@ def run_trial(config: CaseStudyConfig, *, with_lease: bool = True,
         channel: Optional wireless loss model override.
         surgeon: Optional surgeon process override.
         extra_processes: Additional environment processes.
-        keep_trace: Keep the full trace on the result (memory heavy).
+        keep_trace: Keep the full trace on the result (memory heavy) and
+            derive the statistics from it instead of streaming.
         record_variables: ``(automaton, variable)`` pairs to sample.
+        engine: Simulation kernel (``"reference"`` / ``"compiled"``);
+            ``None`` defers to the ``REPRO_ENGINE`` environment variable
+            and then to the reference kernel.
 
     Returns:
         The trial's :class:`TrialResult`.
@@ -225,43 +246,62 @@ def run_trial(config: CaseStudyConfig, *, with_lease: bool = True,
                             channel=channel, surgeon=surgeon,
                             extra_processes=extra_processes)
     sampled = list(record_variables) or [(PATIENT, SPO2)]
-    engine = case.engine(seed=seed, record_variables=sampled)
-    trace = engine.run(duration)
-
-    monitor = PTEMonitor(case.rules)
-    report = monitor.check(trace)
-    ledger = lease_ledger_from_trace(trace, config)
-
-    emissions = trace.count_entries(LASER, EMITTING_LOCATION)
-    pauses = trace.count_entries(VENTILATOR, VENTILATOR_RISKY_CORE)
-    evt_to_stop = len(trace.transitions_of(LASER, reason="lease_expiry",
-                                           source=EMITTING_LOCATION))
-    emission_intervals = trace.dwell_intervals(LASER, {EMITTING_LOCATION})
-    pause_intervals = trace.risky_intervals(VENTILATOR)
-    spo2_times, spo2_values = trace.series(PATIENT, SPO2)
-    aborts = len([r for r in trace.transitions_of(SUPERVISOR)
-                  if r.reason == "approval_violated"])
     surgeon_process = case.surgeon
+
+    if not keep_trace:
+        stats = TrialStatsObserver(config)
+        sim = case.engine(seed=seed, record_variables=sampled, kind=engine,
+                          observers=[stats], record_trace=False)
+        sim.run(duration)
+        measured = dict(
+            laser_emissions=stats.laser_emissions,
+            failures=stats.failures,
+            evt_to_stop=stats.evt_to_stop,
+            ventilator_pauses=stats.ventilator_pauses,
+            max_emission_duration=stats.max_emission_duration,
+            max_pause_duration=stats.max_pause_duration,
+            min_spo2=stats.min_spo2,
+            supervisor_aborts=stats.supervisor_aborts,
+            monitor=stats.report,
+            ledger=stats.ledger,
+            trace=None,
+        )
+    else:
+        sim = case.engine(seed=seed, record_variables=sampled, kind=engine)
+        trace = sim.run(duration)
+
+        report = PTEMonitor(case.rules).check(trace)
+        emission_intervals = trace.dwell_intervals(LASER, {EMITTING_LOCATION})
+        pause_intervals = trace.risky_intervals(VENTILATOR)
+        spo2_times, spo2_values = trace.series(PATIENT, SPO2)
+        measured = dict(
+            laser_emissions=trace.count_entries(LASER, EMITTING_LOCATION),
+            failures=report.failure_count,
+            evt_to_stop=len(trace.transitions_of(LASER, reason="lease_expiry",
+                                                 source=EMITTING_LOCATION)),
+            ventilator_pauses=trace.count_entries(VENTILATOR,
+                                                  VENTILATOR_RISKY_CORE),
+            max_emission_duration=max((e - s for s, e in emission_intervals),
+                                      default=0.0),
+            max_pause_duration=max((e - s for s, e in pause_intervals),
+                                   default=0.0),
+            min_spo2=min(spo2_values, default=config.patient.initial_spo2),
+            supervisor_aborts=len([r for r in trace.transitions_of(SUPERVISOR)
+                                   if r.reason == "approval_violated"]),
+            monitor=report,
+            ledger=lease_ledger_from_trace(trace, config),
+            trace=trace,
+        )
 
     return TrialResult(
         with_lease=with_lease,
         mean_toff=config.surgeon.mean_toff,
         duration=duration,
         seed=seed,
-        laser_emissions=emissions,
-        failures=report.failure_count,
-        evt_to_stop=evt_to_stop,
-        ventilator_pauses=pauses,
-        max_emission_duration=max((e - s for s, e in emission_intervals), default=0.0),
-        max_pause_duration=max((e - s for s, e in pause_intervals), default=0.0),
-        min_spo2=min(spo2_values, default=config.patient.initial_spo2),
-        supervisor_aborts=aborts,
         surgeon_requests=getattr(surgeon_process, "requests_issued", 0),
         surgeon_cancels=getattr(surgeon_process, "cancels_issued", 0),
         observed_loss_ratio=case.network.observed_loss_ratio(),
-        monitor=report,
-        ledger=ledger,
-        trace=trace if keep_trace else None,
+        **measured,
     )
 
 
@@ -272,9 +312,11 @@ def run_table1_trials(config: CaseStudyConfig | None = None, *,
                       max_workers: int = 1) -> List[TrialResult]:
     """Run the four trials of Table I (with/without lease x E(Toff) values).
 
-    Routes through the campaign layer; trial seeds are pinned to the
-    historical per-trial derivation, so results are identical for any
-    worker count and to the pre-campaign serial loop.
+    Routes through the campaign layer with the streaming ``"stats"``
+    payload (full per-trial results, statistics computed online, no traces
+    retained); trial seeds are pinned to the historical per-trial
+    derivation, so results are identical for any worker count and to the
+    pre-campaign serial loop.
 
     Args:
         config: Base case-study configuration (paper defaults when omitted).
@@ -293,7 +335,7 @@ def run_table1_trials(config: CaseStudyConfig | None = None, *,
     spec = table1_spec(config, mean_toffs=mean_toffs, duration=duration,
                        legacy_seed=seed)
     campaign = run_campaign(spec, seed=seed, max_workers=max_workers,
-                            payload="full")
+                            payload="stats")
     return list(campaign.results)
 
 

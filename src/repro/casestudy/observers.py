@@ -1,0 +1,160 @@
+"""Streaming Table-I statistics for emulation trials.
+
+:class:`TrialStatsObserver` subscribes to an engine's observer pipeline and
+computes every :class:`~repro.casestudy.emulation.TrialResult` statistic
+online -- emission/pause counters, ``evtToStop``, dwell maxima, minimum
+SpO2, the lease ledger, and the PTE safety verdict (through the monitor's
+trace-free :meth:`~repro.core.monitor.PTEMonitor.check_risky_intervals`
+entry point).
+
+Nothing about the run is retained beyond per-entity maximal risky
+intervals (bounded by the number of lease rounds, not by the horizon), so
+a ``payload="stats"`` campaign's memory footprint is flat no matter how
+long the trials are.  Given the same execution, the numbers are
+bit-identical to the historical post-hoc scan over a recorded
+:class:`~repro.hybrid.trace.Trace` (asserted by the compiled-equivalence
+test suite).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping
+
+from repro.casestudy.config import (CaseStudyConfig, LASER, PATIENT, SUPERVISOR,
+                                    VENTILATOR)
+from repro.casestudy.laser import EMITTING_LOCATION
+from repro.casestudy.patient import SPO2
+from repro.core.intervals import Interval, IntervalSet
+from repro.core.leases import LeaseLedger, LeaseOutcome
+from repro.core.monitor import MonitorReport, PTEMonitor
+from repro.core.pattern.roles import RISKY_CORE, qualified
+from repro.hybrid.simulate.observers import DwellTracker, TraceObserver
+from repro.hybrid.trace import TransitionRecord
+
+#: Location in which the ventilator is paused and "running" its risky core.
+VENTILATOR_RISKY_CORE = qualified("xi1", RISKY_CORE)
+
+#: Per-entity "Risky Core" location (a lease opens on entry, closes on exit).
+LEASE_CORE_LOCATIONS = {VENTILATOR: VENTILATOR_RISKY_CORE,
+                        LASER: EMITTING_LOCATION}
+
+#: How a risky-core-leaving transition's reason maps to a lease outcome.
+#: Shared with ``lease_ledger_from_trace`` so the streaming and post-hoc
+#: lease reconstructions can never classify the same transition differently.
+OUTCOME_OF_REASON = {
+    "lease_expiry": LeaseOutcome.EXPIRED,
+    "abort": LeaseOutcome.ABORTED,
+    "cancel": LeaseOutcome.COMPLETED,
+    "user_cancel": LeaseOutcome.COMPLETED,
+}
+
+
+def lease_contracts(config: CaseStudyConfig) -> Dict[str, float]:
+    """Contracted maximum risky dwell per lease-holding entity."""
+    return {
+        VENTILATOR: config.pattern.timing(1).t_run_max,
+        LASER: config.pattern.timing(2).t_run_max,
+    }
+
+
+class TrialStatsObserver(TraceObserver):
+    """Compute one trial's Table-I statistics without retaining the trace."""
+
+    def __init__(self, config: CaseStudyConfig):
+        self.config = config
+        self.monitor = PTEMonitor(config.rules())
+        self._monitored = self.monitor.monitored_entities()
+        self._lease_contracts = lease_contracts(config)
+        self._lease_core = LEASE_CORE_LOCATIONS
+
+        self.laser_emissions = 0
+        self.ventilator_pauses = 0
+        self.evt_to_stop = 0
+        self.supervisor_aborts = 0
+        self.min_spo2 = config.patient.initial_spo2
+        self._saw_spo2 = False
+        self.ledger = LeaseLedger()
+        self.report: MonitorReport | None = None
+        self.end_time = 0.0
+        self._risky_trackers: Dict[str, DwellTracker] = {}
+        self._emission_tracker = DwellTracker({EMITTING_LOCATION})
+
+    # -- observer hooks ----------------------------------------------------------
+    def begin_run(self, risky_locations: Mapping[str, set[str]]) -> None:
+        self.__init__(self.config)
+
+    def register_automaton(self, name: str, initial_location: str,
+                           risky_locations: Iterable[str] = ()) -> None:
+        if name in self._monitored:
+            tracker = DwellTracker(risky_locations)
+            tracker.enter(initial_location, 0.0)
+            self._risky_trackers[name] = tracker
+        if name == LASER:
+            self._emission_tracker.enter(initial_location, 0.0)
+
+    def on_transition(self, record: TransitionRecord) -> None:
+        name = record.automaton
+        tracker = self._risky_trackers.get(name)
+        if tracker is not None:
+            tracker.enter(record.target, record.time)
+        if name == LASER:
+            self._emission_tracker.enter(record.target, record.time)
+            if record.target == EMITTING_LOCATION:
+                self.laser_emissions += 1
+            if (record.source == EMITTING_LOCATION
+                    and record.reason == "lease_expiry"):
+                self.evt_to_stop += 1
+        elif name == VENTILATOR:
+            if record.target == VENTILATOR_RISKY_CORE:
+                self.ventilator_pauses += 1
+        elif name == SUPERVISOR and record.reason == "approval_violated":
+            self.supervisor_aborts += 1
+        core = self._lease_core.get(name)
+        if core is not None:
+            if record.target == core:
+                self.ledger.open(name, record.time, self._lease_contracts[name])
+            elif record.source == core:
+                outcome = OUTCOME_OF_REASON.get(record.reason,
+                                                LeaseOutcome.COMPLETED)
+                self.ledger.close(name, outcome, record.time)
+
+    def on_sample(self, automaton: str, variable: str, time: float,
+                  value: float) -> None:
+        if automaton == PATIENT and variable == SPO2:
+            if not self._saw_spo2 or value < self.min_spo2:
+                self.min_spo2 = value
+                self._saw_spo2 = True
+
+    def end_run(self, end_time: float) -> None:
+        self.end_time = end_time
+        self._emission_tracker.finish(end_time)
+        # Entities the rule set monitors but that were never registered
+        # (partial systems) get empty interval sets, matching how the
+        # trace-based monitor treats automata absent from a trace.
+        risky_sets: Dict[str, IntervalSet] = {entity: IntervalSet()
+                                              for entity in self._monitored}
+        for name, tracker in self._risky_trackers.items():
+            tracker.finish(end_time)
+            risky_sets[name] = IntervalSet(Interval(start, end)
+                                           for start, end in tracker.intervals)
+        self.report = self.monitor.check_risky_intervals(risky_sets, end_time)
+
+    # -- derived statistics --------------------------------------------------------
+    @property
+    def failures(self) -> int:
+        """Number of distinct PTE failure episodes (Table I's column)."""
+        return self.report.failure_count if self.report is not None else 0
+
+    @property
+    def max_emission_duration(self) -> float:
+        """Longest continuous laser emission observed."""
+        return max((end - start
+                    for start, end in self._emission_tracker.intervals),
+                   default=0.0)
+
+    @property
+    def max_pause_duration(self) -> float:
+        """Longest continuous ventilation pause (risky dwell) observed."""
+        tracker = self._risky_trackers.get(VENTILATOR)
+        intervals = tracker.intervals if tracker is not None else []
+        return max((end - start for start, end in intervals), default=0.0)

@@ -140,10 +140,19 @@ class PTEMonitor:
         pairs = trace.risky_intervals(self._trace_name(entity))
         return IntervalSet(Interval(start, end) for start, end in pairs)
 
+    def monitored_entities(self) -> set[str]:
+        """Every entity whose risky intervals the rule set needs."""
+        entities = set(self.rules.entities)
+        for pair in self.rules.order.consecutive_pairs():
+            entities.add(pair.inner)
+            entities.add(pair.outer)
+        return entities
+
     # -- rule 1 -------------------------------------------------------------------
-    def _check_bounded_dwelling(self, trace: Trace, report: MonitorReport) -> None:
+    def _check_bounded_dwelling(self, risky_sets: Mapping[str, IntervalSet],
+                                report: MonitorReport) -> None:
         for entity in self.rules.entities:
-            risky = self._risky_set(trace, entity)
+            risky = risky_sets[entity]
             report.max_dwell[entity] = risky.max_duration
             report.risky_episodes[entity] = len(risky)
             bound = self.rules.dwelling_bound(entity)
@@ -159,12 +168,12 @@ class PTEMonitor:
                                 f"exceeds the bound of {bound:.3f}s")))
 
     # -- rule 2 -------------------------------------------------------------------
-    def _check_pair(self, trace: Trace, inner: str, outer: str,
+    def _check_pair(self, risky_sets: Mapping[str, IntervalSet],
+                    inner: str, outer: str,
                     enter_safeguard: float, exit_safeguard: float,
-                    report: MonitorReport) -> None:
-        inner_risky = self._risky_set(trace, inner)
-        outer_risky = self._risky_set(trace, outer)
-        horizon = trace.end_time
+                    horizon: float, report: MonitorReport) -> None:
+        inner_risky = risky_sets[inner]
+        outer_risky = risky_sets[outer]
         for outer_interval in outer_risky:
             contained = inner_risky.covers(outer_interval)
             covering = inner_risky.covering_interval(outer_interval.start)
@@ -238,6 +247,10 @@ class PTEMonitor:
     def check(self, trace: Trace, *, strict: bool = False) -> MonitorReport:
         """Check one trace; optionally raise on the first violation.
 
+        Extracts each monitored entity's risky intervals from the trace and
+        delegates to :meth:`check_risky_intervals`, so both the post-hoc
+        and the streaming path run the identical rule logic.
+
         Args:
             trace: The recorded execution to check.
             strict: When True, raise :class:`SafetyViolationError` if any
@@ -246,11 +259,34 @@ class PTEMonitor:
         Returns:
             The complete :class:`MonitorReport`.
         """
-        report = MonitorReport(horizon=trace.end_time)
-        self._check_bounded_dwelling(trace, report)
+        risky_sets = {entity: self._risky_set(trace, entity)
+                      for entity in self.monitored_entities()}
+        return self.check_risky_intervals(risky_sets, trace.end_time,
+                                          strict=strict)
+
+    def check_risky_intervals(self, risky_sets: Mapping[str, IntervalSet],
+                              horizon: float, *,
+                              strict: bool = False) -> MonitorReport:
+        """Check pre-extracted risky intervals (the trace-free entry point).
+
+        Streaming observers maintain each entity's maximal risky-dwell
+        intervals online and call this at the end of a run; given the same
+        interval endpoints it produces a report identical to
+        :meth:`check` over the full trace.
+
+        Args:
+            risky_sets: Risky :class:`IntervalSet` per monitored entity
+                (every name in :meth:`monitored_entities` must be present).
+            horizon: Duration of the observed execution.
+            strict: When True, raise :class:`SafetyViolationError` if any
+                violation is found (after the full report is assembled).
+        """
+        report = MonitorReport(horizon=horizon)
+        self._check_bounded_dwelling(risky_sets, report)
         for pair in self.rules.order.consecutive_pairs():
-            self._check_pair(trace, pair.inner, pair.outer,
-                             pair.enter_safeguard, pair.exit_safeguard, report)
+            self._check_pair(risky_sets, pair.inner, pair.outer,
+                             pair.enter_safeguard, pair.exit_safeguard,
+                             horizon, report)
         if strict and report.violations:
             raise SafetyViolationError(
                 f"{len(report.violations)} PTE violation(s); first: {report.violations[0]}")

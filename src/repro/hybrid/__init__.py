@@ -22,10 +22,12 @@ from repro.hybrid.locations import Location
 from repro.hybrid.state import AutomatonState, SystemState
 from repro.hybrid.system import HybridSystem
 from repro.hybrid.trace import EventRecord, LocationVisit, Trace, TransitionRecord
-from repro.hybrid.simulate import (CallbackProcess, Coupling, EnvironmentProcess,
+from repro.hybrid.simulate import (CallbackProcess, CompiledEngine, CompiledSystem,
+                                   Coupling, DwellTracker, EnvironmentProcess,
                                    FunctionCoupling, LocationIndicatorCoupling, Network,
-                                   PerfectNetwork, SimulationEngine, VariableCopyCoupling,
-                                   simulate)
+                                   PerfectNetwork, SimulationEngine, TraceObserver,
+                                   TraceRecorder, VariableCopyCoupling, build_engine,
+                                   compile_system, resolve_engine_kind, simulate)
 
 __all__ = [
     # automaton building blocks
@@ -38,7 +40,9 @@ __all__ = [
     # composition and execution
     "HybridSystem", "AutomatonState", "SystemState",
     "Trace", "TransitionRecord", "EventRecord", "LocationVisit",
-    "SimulationEngine", "simulate", "Network", "PerfectNetwork",
+    "SimulationEngine", "CompiledEngine", "CompiledSystem", "compile_system",
+    "build_engine", "resolve_engine_kind", "simulate", "Network", "PerfectNetwork",
+    "TraceObserver", "TraceRecorder", "DwellTracker",
     "EnvironmentProcess", "CallbackProcess", "Coupling", "FunctionCoupling",
     "LocationIndicatorCoupling", "VariableCopyCoupling",
     # elaboration methodology

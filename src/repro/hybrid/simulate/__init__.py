@@ -1,15 +1,45 @@
-"""Simulation engine for hybrid systems (event-driven with exact clock crossings)."""
+"""Simulation engines for hybrid systems (event-driven with exact clock crossings).
 
+Two interchangeable kernels execute the same semantics:
+
+* :class:`SimulationEngine` -- the *reference* engine, a direct
+  transcription of the paper's semantics (the executable specification and
+  equivalence oracle);
+* :class:`CompiledEngine` -- the *compiled* kernel, which lowers the model
+  to index-based tables once per trial and mutates flat state in place,
+  producing bit-identical traces several times faster.
+
+Both push observations through the :class:`TraceObserver` pipeline, so
+consumers can either record a full :class:`~repro.hybrid.trace.Trace` or
+stream statistics without retaining the run.  :func:`build_engine` selects
+a kernel by name or via the ``REPRO_ENGINE`` environment variable.
+"""
+
+from repro.hybrid.simulate.compiled import (CompiledEngine, CompiledSystem,
+                                            ENGINE_ENV_VAR, ENGINE_KINDS,
+                                            build_engine, compile_system,
+                                            resolve_engine_kind)
 from repro.hybrid.simulate.engine import Network, PerfectNetwork, SimulationEngine, simulate
+from repro.hybrid.simulate.observers import DwellTracker, TraceObserver, TraceRecorder
 from repro.hybrid.simulate.processes import (CallbackProcess, Coupling, EnvironmentProcess,
                                              FunctionCoupling, LocationIndicatorCoupling,
                                              VariableCopyCoupling)
 
 __all__ = [
     "SimulationEngine",
+    "CompiledEngine",
+    "CompiledSystem",
+    "compile_system",
+    "build_engine",
+    "resolve_engine_kind",
+    "ENGINE_KINDS",
+    "ENGINE_ENV_VAR",
     "simulate",
     "Network",
     "PerfectNetwork",
+    "TraceObserver",
+    "TraceRecorder",
+    "DwellTracker",
     "EnvironmentProcess",
     "CallbackProcess",
     "Coupling",

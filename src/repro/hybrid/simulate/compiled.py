@@ -1,0 +1,994 @@
+"""Compiled simulation kernel: lower once, mutate flat state, stream observations.
+
+The reference :class:`~repro.hybrid.simulate.engine.SimulationEngine` is a
+direct transcription of the paper's semantics: every step it re-derives
+flow rates, re-filters edge lists, re-dispatches polymorphic predicates and
+allocates a fresh frozen ``AutomatonState``/``Valuation`` pair per member
+automaton.  That is ideal as an executable specification and hopeless as a
+campaign workhorse.
+
+This module is the production kernel.  :func:`compile_system` lowers a
+:class:`~repro.hybrid.system.HybridSystem` into index-based tables built
+once per trial:
+
+* locations, edges and variables become integers; valuations become flat
+  ``list[float]`` slot arrays mutated in place;
+* affine flows become pre-resolved rate vectors (``(slot, rate)`` pairs);
+* guards and invariants compile to crossing *programs* -- closures with the
+  affine-crossing coefficients already solved, so the scheduler evaluates a
+  handful of multiplications instead of re-walking predicate trees;
+* event roots map to pre-resolved receiver tables (receiver index, lossy
+  flag, hosting entity).
+
+:class:`CompiledEngine` executes those tables with the exact control flow
+and floating-point arithmetic of the reference engine, so for every seed it
+produces **bit-identical** traces, event logs and samples (enforced by
+``tests/hybrid/test_compiled_equivalence.py``).  Per-step invalidation is
+structural rather than numeric: a guard whose watched variable cannot move
+in the current location is dropped from the schedule at compile time, and
+an automaton's deadline program only changes when its location does.
+Numeric deadlines are deliberately *not* cached across instants -- the
+reference engine re-derives them from the advanced valuation each scan, and
+caching absolute crossing times would diverge from it by ULPs.
+
+Observation goes through the same
+:class:`~repro.hybrid.simulate.observers.TraceObserver` pipeline as the
+reference engine; run with ``record_trace=False`` plus streaming observers
+and the kernel retains no per-step history at all.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, Iterator, List, Mapping, Sequence
+
+from repro.errors import SimulationError, TimeBlockError, ZenoError
+from repro.hybrid.automaton import HybridAutomaton
+from repro.hybrid.edges import Edge
+from repro.hybrid.expressions import (BoxPredicate, FalsePredicate, LinearInequality,
+                                      Not, Predicate, TruePredicate)
+from repro.hybrid.flows import CallableFlow, CompositeFlow, ConstantFlow, Flow
+from repro.hybrid.simulate.engine import _MIN_ADVANCE, Network, _PendingEvent
+from repro.hybrid.simulate.observers import TraceObserver, TraceRecorder
+from repro.hybrid.simulate.processes import (Coupling, EnvironmentProcess,
+                                             LocationIndicatorCoupling,
+                                             VariableCopyCoupling)
+from repro.hybrid.system import HybridSystem
+from repro.hybrid.trace import EventRecord, Trace, TransitionRecord
+from repro.hybrid.variables import Valuation
+from repro.util.seeding import spawn_rng
+from repro.util.timebase import EPSILON
+
+#: Sentinel: this guard/invariant can never contribute a crossing deadline
+#: (nor a sampling request) in this location, so the scheduler skips it.
+_STATIC_SKIP = object()
+
+
+class SlotValuation(Mapping[str, float]):
+    """Read-only :class:`Valuation`-compatible view over a slot array.
+
+    Generic predicates, callable flows and reset functions written against
+    the dict-based :class:`~repro.hybrid.variables.Valuation` interface run
+    unchanged against the compiled kernel's mutable state through this
+    view.  Slots the reference valuation never contained hold ``0.0``,
+    which is indistinguishable from a missing key under the library-wide
+    ``get(name, 0.0)`` convention.
+    """
+
+    __slots__ = ("_slots", "_values")
+
+    def __init__(self, slots: Dict[str, int], values: List[float]):
+        self._slots = slots
+        self._values = values
+
+    def __getitem__(self, key: str) -> float:
+        return self._values[self._slots[key]]
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._slots)
+
+    def __len__(self) -> int:
+        return len(self._slots)
+
+    def get(self, key: str, default: float = 0.0) -> float:
+        index = self._slots.get(key)
+        return default if index is None else self._values[index]
+
+    def as_dict(self) -> Dict[str, float]:
+        return {name: self._values[index] for name, index in self._slots.items()}
+
+    def updated(self, changes: Mapping[str, float]) -> Valuation:
+        # Same arithmetic as Valuation.updated on an equal dict.
+        merged = self.as_dict()
+        merged.update({k: float(v) for k, v in changes.items()})
+        return Valuation(merged)
+
+    def advanced(self, rates: Mapping[str, float], dt: float) -> Valuation:
+        # Same arithmetic as Valuation.advanced on an equal dict.
+        if dt < 0:
+            raise ValueError("dt must be non-negative")
+        merged = self.as_dict()
+        for name, rate in rates.items():
+            merged[name] = merged.get(name, 0.0) + rate * dt
+        return Valuation(merged)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        inner = ", ".join(f"{k}={v:.6g}" for k, v in sorted(self.as_dict().items()))
+        return f"SlotValuation({inner})"
+
+
+class _OverlayValuation(Mapping[str, float]):
+    """A base valuation with a few overridden entries (RK4 probe states).
+
+    Stands in for the intermediate ``Valuation.advanced`` copies the
+    reference RK4 integrator builds, without materialising the full dict.
+    """
+
+    __slots__ = ("_base", "_over")
+
+    def __init__(self, base: Mapping[str, float], over: Dict[str, float]):
+        self._base = base
+        self._over = over
+
+    def __getitem__(self, key: str) -> float:
+        if key in self._over:
+            return self._over[key]
+        return self._base[key]
+
+    def __iter__(self) -> Iterator[str]:
+        yield from self._base
+        for key in self._over:
+            if key not in self._base:
+                yield key
+
+    def __len__(self) -> int:
+        return len(self._base) + sum(1 for key in self._over
+                                     if key not in self._base)
+
+    def get(self, key: str, default: float = 0.0) -> float:
+        if key in self._over:
+            return self._over[key]
+        return self._base.get(key, default)
+
+    def as_dict(self) -> Dict[str, float]:
+        merged = dict(self._base)
+        merged.update(self._over)
+        return merged
+
+    def updated(self, changes: Mapping[str, float]) -> Valuation:
+        merged = self.as_dict()
+        merged.update({k: float(v) for k, v in changes.items()})
+        return Valuation(merged)
+
+    def advanced(self, rates: Mapping[str, float], dt: float) -> Valuation:
+        if dt < 0:
+            raise ValueError("dt must be non-negative")
+        merged = self.as_dict()
+        for name, rate in rates.items():
+            merged[name] = merged.get(name, 0.0) + rate * dt
+        return Valuation(merged)
+
+
+# ---------------------------------------------------------------------------
+# Lowering (model layer): HybridSystem -> index-based tables
+# ---------------------------------------------------------------------------
+
+def _predicate_variables(predicate: Predicate) -> set[str]:
+    """Variable names a predicate reads, as far as statically known."""
+    if isinstance(predicate, (LinearInequality,)):
+        return {predicate.variable}
+    if isinstance(predicate, BoxPredicate):
+        return {predicate.variable}
+    if isinstance(predicate, Not):
+        return _predicate_variables(predicate.operand)
+    operands = getattr(predicate, "operands", None)
+    if operands is not None:
+        names: set[str] = set()
+        for operand in operands:
+            names |= _predicate_variables(operand)
+        return names
+    return set()
+
+
+def _flow_variables(flow: Flow) -> set[str]:
+    """Variable names a flow may drive (including zero-rate declarations)."""
+    if isinstance(flow, ConstantFlow):
+        return set(flow.derivatives)
+    if isinstance(flow, CompositeFlow):
+        names: set[str] = set()
+        for part in flow.parts:
+            names |= _flow_variables(part)
+        return names
+    try:
+        return set(flow.driven_variables())
+    except NotImplementedError:  # pragma: no cover - defensive
+        return set()
+
+
+def _static_rates(flow: Flow) -> Dict[str, float] | None:
+    """The flow's exact ``rates()`` result when it is valuation-independent."""
+    if isinstance(flow, ConstantFlow):
+        return dict(flow.derivatives)
+    if isinstance(flow, CompositeFlow) and all(isinstance(p, ConstantFlow)
+                                               for p in flow.parts):
+        return flow.rates(Valuation({}))
+    return None
+
+
+def _lower_crossing(predicate: Predicate, rates: Mapping[str, float],
+                    slot_of: Mapping[str, int], want_true: bool):
+    """Compile ``time_until_true``/``time_until_false`` under constant rates.
+
+    Returns :data:`_STATIC_SKIP` when the answer is provably ``0.0`` or
+    ``inf`` for every reachable valuation (neither is a scheduling
+    candidate, and neither requests sampling), otherwise a program
+    ``(values, view) -> float | None`` that reproduces the reference
+    predicate method bit-for-bit.
+    """
+    if isinstance(predicate, (TruePredicate, FalsePredicate)):
+        return _STATIC_SKIP
+    if isinstance(predicate, Not):
+        return _lower_crossing(predicate.operand, rates, slot_of, not want_true)
+    if isinstance(predicate, LinearInequality):
+        rate = rates.get(predicate.variable, 0.0)
+        if abs(rate) <= EPSILON:
+            # _crossing_delay returns 0.0 (already there) or inf (frozen):
+            # never a finite positive deadline, never a sampling request.
+            return _STATIC_SKIP
+        slot = slot_of[predicate.variable]
+
+        def linear_program(values, view, *, predicate=predicate, slot=slot,
+                           rate=rate, want=want_true):
+            return predicate._crossing_delay(values[slot], rate, want)
+
+        return linear_program
+    if isinstance(predicate, BoxPredicate):
+        rate = rates.get(predicate.variable, 0.0)
+        if abs(rate) <= EPSILON:
+            return _STATIC_SKIP
+
+    def generic_program(values, view, *, predicate=predicate, rates=rates,
+                        want=want_true):
+        if want:
+            return predicate.time_until_true(view, rates)
+        return predicate.time_until_false(view, rates)
+
+    return generic_program
+
+
+def _lower_callable_advance(flow: CallableFlow, slot_of: Mapping[str, int]):
+    """Compile a :class:`CallableFlow` into an in-place RK4 integrator.
+
+    Reproduces ``CallableFlow.advance`` / ``_rk4_step`` /
+    ``Valuation.advanced`` operation for operation over the slot array, so
+    the integrated values are bit-identical to the reference engine's.
+    """
+    func = flow.func
+    substep = flow.substep
+    var_slots = tuple((name, slot_of[name]) for name in flow.variables)
+
+    def advance_program(rt: "_AutomatonRuntime", dt: float) -> None:
+        if dt <= 0:
+            return
+        values = rt.values
+        view = rt.view
+        remaining = dt
+        while remaining > 1e-12:
+            h = min(substep, remaining)
+            half = h / 2.0
+            k1 = {k: float(v) for k, v in func(view).items()}
+            probe = _OverlayValuation(
+                view, {name: view.get(name, 0.0) + rate * half
+                       for name, rate in k1.items()})
+            k2 = {k: float(v) for k, v in func(probe).items()}
+            probe = _OverlayValuation(
+                view, {name: view.get(name, 0.0) + rate * half
+                       for name, rate in k2.items()})
+            k3 = {k: float(v) for k, v in func(probe).items()}
+            probe = _OverlayValuation(
+                view, {name: view.get(name, 0.0) + rate * h
+                       for name, rate in k3.items()})
+            k4 = {k: float(v) for k, v in func(probe).items()}
+            for name, slot in var_slots:
+                combined = (k1.get(name, 0.0) + 2.0 * k2.get(name, 0.0)
+                            + 2.0 * k3.get(name, 0.0) + k4.get(name, 0.0)) / 6.0
+                values[slot] = values[slot] + combined * h
+            remaining -= h
+
+    return advance_program
+
+
+def _lower_guard_eval(predicate: Predicate, slot_of: Mapping[str, int]):
+    """Compile a guard's boolean evaluation; ``None`` means "always true"."""
+    if isinstance(predicate, TruePredicate):
+        return None
+    if isinstance(predicate, LinearInequality):
+        slot = slot_of[predicate.variable]
+
+        def linear_eval(values, view, *, op=predicate.op, slot=slot,
+                        threshold=predicate.threshold):
+            return op.evaluate(values[slot], threshold)
+
+        return linear_eval
+
+    def generic_eval(values, view, *, predicate=predicate):
+        return predicate.evaluate(view)
+
+    return generic_eval
+
+
+class CompiledEdge:
+    """One lowered edge: integer target, pre-solved guard, flat reset."""
+
+    __slots__ = ("edge", "source_name", "target_name", "target_index",
+                 "trigger_root", "guard_program", "assignments", "emits",
+                 "reason", "key")
+
+    def __init__(self, edge: Edge, order_index: int, target_index: int,
+                 slot_of: Mapping[str, int]):
+        self.edge = edge
+        self.source_name = edge.source
+        self.target_name = edge.target
+        self.target_index = target_index
+        self.trigger_root = edge.trigger.root if edge.trigger is not None else None
+        self.guard_program = _lower_guard_eval(edge.guard, slot_of)
+        if edge.reset.function is None:
+            self.assignments = tuple((slot_of[name], float(value))
+                                     for name, value in edge.reset.assignments.items())
+        else:
+            self.assignments = None
+        self.emits = tuple(edge.emits)
+        self.reason = edge.reason
+        # Same priority key the reference engine builds per enabled edge.
+        self.key = (-edge.priority, 0 if edge.trigger is not None else 1, order_index)
+
+
+class CompiledLocation:
+    """One lowered location: rate vector, deadline programs, edge table."""
+
+    __slots__ = ("name", "index", "flow", "affine", "invariant", "risky",
+                 "static_rates", "const_items", "advance_program", "edges",
+                 "asap_edges", "has_asap", "cross_programs", "inv_program")
+
+    def __init__(self, automaton: HybridAutomaton, name: str, index: int,
+                 loc_index: Mapping[str, int], slot_of: Mapping[str, int]):
+        location = automaton.location(name)
+        self.name = name
+        self.index = index
+        self.flow = location.flow
+        self.affine = location.flow.is_affine
+        self.invariant = location.invariant
+        self.risky = location.risky
+        self.static_rates = _static_rates(location.flow)
+        if self.static_rates is not None:
+            self.const_items = tuple((slot_of[var], rate)
+                                     for var, rate in self.static_rates.items()
+                                     if rate != 0.0)
+        else:
+            self.const_items = None
+        self.advance_program = (_lower_callable_advance(location.flow, slot_of)
+                                if isinstance(location.flow, CallableFlow) else None)
+        source_edges = [e for e in automaton.edges if e.source == name]
+        self.edges = tuple(CompiledEdge(edge, order_index, loc_index[edge.target],
+                                        slot_of)
+                           for order_index, edge in enumerate(source_edges))
+        self.asap_edges = tuple(ce for ce in self.edges if ce.trigger_root is None)
+        self.has_asap = bool(self.asap_edges)
+        # Deadline programs exist only for affine locations with static
+        # rates; dynamic-affine and non-affine locations are handled
+        # generically by the scheduler.
+        self.cross_programs = ()
+        self.inv_program = None
+        if self.affine and self.static_rates is not None:
+            programs = []
+            for ce in self.asap_edges:
+                program = _lower_crossing(ce.edge.guard, self.static_rates,
+                                          slot_of, True)
+                if program is not _STATIC_SKIP:
+                    programs.append(program)
+            self.cross_programs = tuple(programs)
+            inv = _lower_crossing(self.invariant, self.static_rates, slot_of, False)
+            self.inv_program = None if inv is _STATIC_SKIP else inv
+
+
+class CompiledAutomaton:
+    """One lowered member automaton: slot map, location table, initial state."""
+
+    __slots__ = ("name", "index", "entity", "slot_of", "initial_values",
+                 "initial_location", "locations", "loc_index", "risky_locations")
+
+    def __init__(self, automaton: HybridAutomaton, index: int, entity: str):
+        automaton.validate()
+        self.name = automaton.name
+        self.index = index
+        self.entity = entity
+        names: Dict[str, None] = dict.fromkeys(automaton.variables)
+        names.update(dict.fromkeys(automaton.initial_valuation))
+        for location in automaton.locations.values():
+            names.update(dict.fromkeys(sorted(_flow_variables(location.flow))))
+            names.update(dict.fromkeys(
+                sorted(_predicate_variables(location.invariant))))
+        for edge in automaton.edges:
+            names.update(dict.fromkeys(sorted(_predicate_variables(edge.guard))))
+            names.update(dict.fromkeys(edge.reset.assignments))
+        self.slot_of: Dict[str, int] = {name: i for i, name in enumerate(names)}
+        initial = automaton.initial_valuation
+        self.initial_values = [initial.get(name, 0.0) for name in names]
+        self.loc_index: Dict[str, int] = {name: i
+                                          for i, name in enumerate(automaton.locations)}
+        if automaton.initial_location is None:
+            raise SimulationError(
+                f"automaton {automaton.name!r} has no initial location")
+        self.initial_location = self.loc_index[automaton.initial_location]
+        self.locations = tuple(
+            CompiledLocation(automaton, name, i, self.loc_index, self.slot_of)
+            for name, i in self.loc_index.items())
+        self.risky_locations = set(automaton.risky_locations)
+
+
+class CompiledSystem:
+    """A hybrid system lowered to index-based tables (built once per trial)."""
+
+    def __init__(self, system: HybridSystem):
+        self.system = system
+        self.automata: tuple[CompiledAutomaton, ...] = tuple(
+            CompiledAutomaton(automaton, index, system.entity_of(name))
+            for index, (name, automaton) in enumerate(system.automata.items()))
+        self.index_of: Dict[str, int] = {ca.name: ca.index for ca in self.automata}
+        self.entity_of: Dict[str, str] = {ca.name: ca.entity for ca in self.automata}
+        #: root -> ((receiver automaton index, receiver name, lossy, entity), ...)
+        self.receivers: Dict[str, tuple[tuple[int, str, bool, str], ...]] = {}
+        for ca in self.automata:
+            for root in system.automata[ca.name].received_roots():
+                if root not in self.receivers:
+                    self.receivers[root] = self._lower_receivers(root)
+
+    def _lower_receivers(self, root: str) -> tuple[tuple[int, str, bool, str], ...]:
+        return tuple((self.index_of[name], name, lossy, self.entity_of[name])
+                     for name, lossy in self.system.receivers_of(root))
+
+    def receivers_of(self, root: str) -> tuple[tuple[int, str, bool, str], ...]:
+        table = self.receivers.get(root)
+        if table is None:
+            table = self._lower_receivers(root)
+            self.receivers[root] = table
+        return table
+
+
+def compile_system(system: HybridSystem) -> CompiledSystem:
+    """Lower ``system`` into the compiled kernel's index-based tables."""
+    return CompiledSystem(system)
+
+
+# ---------------------------------------------------------------------------
+# State layer: array-backed mutable state behind the SystemState read API
+# ---------------------------------------------------------------------------
+
+class _AutomatonRuntime:
+    """Mutable hot-loop state of one member automaton (slots, not objects)."""
+
+    __slots__ = ("ca", "name", "slots", "values", "view", "loc", "location",
+                 "entered_at", "pending")
+
+    def __init__(self, ca: CompiledAutomaton):
+        self.ca = ca
+        self.name = ca.name
+        self.slots: Dict[str, int] = dict(ca.slot_of)
+        self.values: List[float] = list(ca.initial_values)
+        self.view = SlotValuation(self.slots, self.values)
+        self.loc: int = ca.initial_location
+        self.location: CompiledLocation = ca.locations[self.loc]
+        self.entered_at: float = 0.0
+        self.pending: List[_PendingEvent] = []
+
+    def move_to(self, target_index: int, now: float) -> None:
+        self.loc = target_index
+        self.location = self.ca.locations[target_index]
+        self.entered_at = now
+
+    def set(self, name: str, value: float) -> None:
+        slot = self.slots.get(name)
+        if slot is None:
+            slot = len(self.values)
+            self.slots[name] = slot
+            self.values.append(0.0)
+        self.values[slot] = value
+
+    def get(self, name: str, default: float = 0.0) -> float:
+        slot = self.slots.get(name)
+        return default if slot is None else self.values[slot]
+
+
+class CompiledAutomatonState:
+    """Read view of one automaton's runtime, shaped like ``AutomatonState``."""
+
+    __slots__ = ("_runtime",)
+
+    def __init__(self, runtime: _AutomatonRuntime):
+        self._runtime = runtime
+
+    @property
+    def location(self) -> str:
+        return self._runtime.location.name
+
+    @property
+    def valuation(self) -> SlotValuation:
+        return self._runtime.view
+
+    @property
+    def entered_at(self) -> float:
+        return self._runtime.entered_at
+
+    def dwelling_time(self, now: float) -> float:
+        return max(0.0, now - self._runtime.entered_at)
+
+
+class CompiledSystemState:
+    """Joint state of a compiled run, exposing the ``SystemState`` read API.
+
+    Couplings, environment processes and tests read simulation state
+    through :meth:`location_of` / :meth:`value_of` / ``automata[...]``
+    exactly as with the reference engine; the backing storage is the flat
+    per-automaton slot arrays.
+    """
+
+    def __init__(self, runtimes: Sequence[_AutomatonRuntime]):
+        self.time: float = 0.0
+        self._by_name: Dict[str, _AutomatonRuntime] = {rt.name: rt
+                                                       for rt in runtimes}
+        self.automata: Dict[str, CompiledAutomatonState] = {
+            rt.name: CompiledAutomatonState(rt) for rt in runtimes}
+
+    def runtime(self, automaton_name: str) -> _AutomatonRuntime:
+        return self._by_name[automaton_name]
+
+    def state_of(self, automaton_name: str) -> CompiledAutomatonState:
+        return self.automata[automaton_name]
+
+    def location_of(self, automaton_name: str) -> str:
+        return self._by_name[automaton_name].location.name
+
+    def valuation_of(self, automaton_name: str) -> SlotValuation:
+        return self._by_name[automaton_name].view
+
+    def value_of(self, automaton_name: str, variable: str,
+                 default: float = 0.0) -> float:
+        return self._by_name[automaton_name].get(variable, default)
+
+    def snapshot(self) -> Mapping[str, tuple[str, Mapping[str, float]]]:
+        return {name: (rt.location.name, rt.view.as_dict())
+                for name, rt in self._by_name.items()}
+
+
+# ---------------------------------------------------------------------------
+# Scheduling + discrete execution
+# ---------------------------------------------------------------------------
+
+class CompiledEngine:
+    """Execute a compiled hybrid system with reference-identical semantics.
+
+    Drop-in counterpart of
+    :class:`~repro.hybrid.simulate.engine.SimulationEngine`: same
+    constructor arguments (plus ``observers`` / ``record_trace``), same
+    public helpers (``now``, ``state``, ``inject_event``, ``set_variable``,
+    ``location_of``, ``check_invariants``), and bit-identical traces for
+    every seed.  Accepts either a :class:`~repro.hybrid.system.HybridSystem`
+    (lowered on the spot) or a pre-built :class:`CompiledSystem`.
+    """
+
+    kind = "compiled"
+
+    def __init__(self, system: HybridSystem | CompiledSystem, *,
+                 network: Network | None = None,
+                 processes: Sequence[EnvironmentProcess] = (),
+                 couplings: Sequence[Coupling] = (),
+                 seed: int | None = None,
+                 dt_max: float = 0.1,
+                 max_cascade: int = 200,
+                 record_variables: Iterable[tuple[str, str]] = (),
+                 sample_interval: float = 0.25,
+                 observers: Sequence[TraceObserver] = (),
+                 record_trace: bool = True):
+        self.compiled = (system if isinstance(system, CompiledSystem)
+                         else compile_system(system))
+        self.system = self.compiled.system
+        self.network = network or Network()
+        self.processes: List[EnvironmentProcess] = list(processes)
+        self.couplings: List[Coupling] = list(couplings)
+        self.seed = seed
+        self.dt_max = float(dt_max)
+        self.max_cascade = int(max_cascade)
+        self.record_variables = list(record_variables)
+        self.sample_interval = float(sample_interval)
+        self.rng = spawn_rng(seed, "engine")
+
+        self._recorder = TraceRecorder() if record_trace else None
+        self.observers: List[TraceObserver] = (
+            ([self._recorder] if self._recorder is not None else [])
+            + list(observers))
+        if self._recorder is not None:
+            self._recorder.trace = Trace(self.system.risky_locations())
+        self._runtimes: List[_AutomatonRuntime] = [
+            _AutomatonRuntime(ca) for ca in self.compiled.automata]
+        self.state = CompiledSystemState(self._runtimes)
+        self._coupling_programs = [self._lower_coupling(c) for c in self.couplings]
+        self._next_sample_time = 0.0
+        self._time_of_last_wake: Dict[int, float] = {}
+        self._base_needs_sampling = bool(self.couplings) or bool(self.record_variables)
+
+    # -- public helpers ---------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulation time (seconds)."""
+        return self.state.time
+
+    @property
+    def trace(self) -> Trace | None:
+        """The recorded trace (``None`` when ``record_trace=False``)."""
+        return self._recorder.trace if self._recorder is not None else None
+
+    def set_variable(self, automaton_name: str, variable: str, value: float) -> None:
+        """Overwrite one variable of one member automaton (used by couplings)."""
+        self.state.runtime(automaton_name).set(variable, float(value))
+
+    def inject_event(self, root: str, *, sender: str = "environment") -> None:
+        """Broadcast an event from the environment at the current instant."""
+        self._broadcast(root, sender)
+
+    def location_of(self, automaton_name: str) -> str:
+        """Current location of a member automaton."""
+        return self.state.location_of(automaton_name)
+
+    # -- main loop ----------------------------------------------------------------
+    def run(self, horizon: float) -> Trace | None:
+        """Run the simulation from time zero up to ``horizon`` seconds."""
+        if horizon <= 0:
+            raise SimulationError("simulation horizon must be positive")
+        self.network.reset(self.seed)
+        self._initialize()
+        state = self.state
+        while state.time < horizon - EPSILON:
+            self._apply_couplings()
+            next_time = self._next_time(horizon)
+            dt = next_time - state.time
+            if dt > 0:
+                self._advance_continuous(dt)
+            state.time = next_time
+            self._apply_couplings()
+            self._wake_processes()
+            self._process_discrete()
+            self._maybe_sample()
+        for observer in self.observers:
+            observer.end_run(horizon)
+        return self.trace
+
+    # -- initialization -----------------------------------------------------------
+    def _initialize(self) -> None:
+        self._runtimes = [_AutomatonRuntime(ca) for ca in self.compiled.automata]
+        self.state = CompiledSystemState(self._runtimes)
+        # Re-derived from the live lists so that couplings/record_variables
+        # mutated after construction behave exactly as on the reference
+        # engine (which re-checks them on every scan).
+        self._coupling_programs = [self._lower_coupling(c) for c in self.couplings]
+        self._base_needs_sampling = bool(self.couplings) or bool(self.record_variables)
+        self._next_sample_time = 0.0
+        self._time_of_last_wake = {}
+        risky = self.system.risky_locations()
+        for observer in self.observers:
+            observer.begin_run(risky)
+        for rt in self._runtimes:
+            for observer in self.observers:
+                observer.register_automaton(rt.name, rt.location.name,
+                                            rt.ca.risky_locations)
+        for process in self.processes:
+            process.initialize(self)
+        self._apply_couplings()
+        self._wake_processes()
+        self._process_discrete()
+        self._maybe_sample(force=True)
+
+    # -- continuous phase -----------------------------------------------------------
+    def _lower_coupling(self, coupling: Coupling):
+        """Compile the two canonical coupling shapes into direct slot moves.
+
+        Exactly the reads and writes their ``apply`` would perform through
+        the engine API; anything else (subclasses, transforms) falls back
+        to ``coupling.apply(self)``.
+        """
+        if type(coupling) is LocationIndicatorCoupling:
+            source = self.state.runtime(coupling.source_automaton)
+            target = self.state.runtime(coupling.target_automaton)
+            target.set(coupling.target_variable,
+                       target.get(coupling.target_variable))
+            slot = target.slots[coupling.target_variable]
+            wanted = frozenset(coupling.source_locations)
+            true_value = float(coupling.true_value)
+            false_value = float(coupling.false_value)
+
+            def indicator_program(values=target.values, slot=slot):
+                values[slot] = (true_value if source.location.name in wanted
+                                else false_value)
+
+            return indicator_program
+        if type(coupling) is VariableCopyCoupling and coupling.transform is None:
+            source = self.state.runtime(coupling.source_automaton)
+            target = self.state.runtime(coupling.target_automaton)
+            target.set(coupling.target_variable,
+                       target.get(coupling.target_variable))
+            slot = target.slots[coupling.target_variable]
+            source_variable = coupling.source_variable
+
+            def copy_program(values=target.values, slot=slot):
+                values[slot] = source.get(source_variable, 0.0)
+
+            return copy_program
+        return lambda: coupling.apply(self)
+
+    def _apply_couplings(self) -> None:
+        for program in self._coupling_programs:
+            program()
+
+    def _next_time(self, horizon: float) -> float:
+        """Earliest relevant future instant (guard crossing, wakeup, sample cap)."""
+        now = self.state.time
+        best = horizon
+        needs_sampling = self._base_needs_sampling
+        for rt in self._runtimes:
+            loc = rt.location
+            if not loc.affine:
+                needs_sampling = True
+                continue
+            if loc.static_rates is None:
+                # Affine flow of unknown shape: reference semantics, with
+                # rates re-derived from the live valuation.
+                rates = loc.flow.rates(rt.view)
+                for ce in loc.asap_edges:
+                    delay = ce.edge.guard.time_until_true(rt.view, rates)
+                    if delay is None:
+                        needs_sampling = True
+                    elif math.isfinite(delay) and delay > EPSILON:
+                        candidate = now + delay
+                        if candidate < best:
+                            best = candidate
+                inv_delay = loc.invariant.time_until_false(rt.view, rates)
+                if inv_delay is None:
+                    needs_sampling = True
+                elif math.isfinite(inv_delay) and inv_delay > EPSILON:
+                    candidate = now + inv_delay
+                    if candidate < best:
+                        best = candidate
+                continue
+            values = rt.values
+            view = rt.view
+            for program in loc.cross_programs:
+                delay = program(values, view)
+                if delay is None:
+                    needs_sampling = True
+                elif math.isfinite(delay) and delay > EPSILON:
+                    candidate = now + delay
+                    if candidate < best:
+                        best = candidate
+            if loc.inv_program is not None:
+                inv_delay = loc.inv_program(values, view)
+                if inv_delay is None:
+                    needs_sampling = True
+                elif math.isfinite(inv_delay) and inv_delay > EPSILON:
+                    candidate = now + inv_delay
+                    if candidate < best:
+                        best = candidate
+        for process in self.processes:
+            wakeup = process.next_wakeup(now)
+            if wakeup is not None and math.isfinite(wakeup):
+                candidate = max(wakeup, now)
+                if candidate < best:
+                    best = candidate
+        if needs_sampling:
+            candidate = now + self.dt_max
+            if candidate < best:
+                best = candidate
+        next_time = min(best, horizon)
+        if next_time <= now + EPSILON:
+            next_time = min(now + _MIN_ADVANCE, horizon)
+        return next_time
+
+    def _advance_continuous(self, dt: float) -> None:
+        for rt in self._runtimes:
+            loc = rt.location
+            items = loc.const_items
+            if items is not None:
+                values = rt.values
+                for slot, rate in items:
+                    values[slot] += rate * dt
+            elif loc.advance_program is not None:
+                loc.advance_program(rt, dt)
+            else:
+                new_valuation = loc.flow.advance(rt.view, dt)
+                values = rt.values
+                slots = rt.slots
+                for name, value in new_valuation.items():
+                    slot = slots.get(name)
+                    if slot is None:
+                        rt.set(name, value)
+                    else:
+                        values[slot] = value
+
+    # -- environment ----------------------------------------------------------------
+    def _wake_processes(self) -> None:
+        now = self.state.time
+        for process in self.processes:
+            wakeup = process.next_wakeup(now)
+            if wakeup is None or wakeup > now + EPSILON:
+                continue
+            key = id(process)
+            if self._time_of_last_wake.get(key) == now:
+                continue
+            self._time_of_last_wake[key] = now
+            process.wake(self, now)
+
+    # -- discrete phase ----------------------------------------------------------------
+    def _process_discrete(self) -> None:
+        """Fire enabled transitions at the current instant until quiescent."""
+        for _ in range(self.max_cascade):
+            fired_any = False
+            for rt in self._runtimes:
+                if self._fire_one(rt):
+                    fired_any = True
+            if not fired_any:
+                break
+        else:
+            raise ZenoError(
+                f"more than {self.max_cascade} cascaded transition rounds at "
+                f"t={self.state.time:.6f}s; the model is (quasi-)Zeno")
+        # Unconsumed events do not persist across time instants.
+        for rt in self._runtimes:
+            rt.pending.clear()
+
+    def _fire_one(self, rt: _AutomatonRuntime) -> bool:
+        """Fire at most one enabled edge of ``rt``; return True if fired."""
+        location = rt.location
+        edges = location.edges
+        if not edges:
+            return False
+        pending = rt.pending
+        if not pending and not location.has_asap:
+            # Event-triggered edges need a pending event; with none queued
+            # nothing here can fire (exactly what the reference scan finds).
+            return False
+        values = rt.values
+        view = rt.view
+        chosen: CompiledEdge | None = None
+        chosen_event_index: int | None = None
+        best_key: tuple[int, int, int] | None = None
+        for ce in edges:
+            event_index: int | None = None
+            if ce.trigger_root is not None:
+                event_index = next(
+                    (i for i, ev in enumerate(pending) if ev.root == ce.trigger_root),
+                    None)
+                if event_index is None:
+                    continue
+            if ce.guard_program is not None and not ce.guard_program(values, view):
+                continue
+            if best_key is None or ce.key < best_key:
+                best_key = ce.key
+                chosen = ce
+                chosen_event_index = event_index
+        if chosen is None:
+            return False
+        trigger_root = None
+        if chosen_event_index is not None:
+            trigger_root = pending.pop(chosen_event_index).root
+        self._take_edge(rt, chosen, trigger_root)
+        return True
+
+    def _take_edge(self, rt: _AutomatonRuntime, ce: CompiledEdge,
+                   trigger_root: str | None) -> None:
+        now = self.state.time
+        if ce.assignments is not None:
+            values = rt.values
+            for slot, value in ce.assignments:
+                values[slot] = value
+        else:
+            new_valuation = ce.edge.reset.apply(rt.view)
+            for name, value in new_valuation.items():
+                rt.set(name, value)
+        rt.move_to(ce.target_index, now)
+        record = TransitionRecord(
+            time=now, automaton=rt.name, source=ce.source_name,
+            target=ce.target_name, reason=ce.reason, trigger_root=trigger_root,
+            emitted=ce.emits)
+        for observer in self.observers:
+            observer.on_transition(record)
+        for process in self.processes:
+            process.notify_transition(self, record)
+        for root in ce.emits:
+            self._broadcast(root, sender=rt.name)
+
+    def _broadcast(self, root: str, sender: str) -> None:
+        """Deliver event ``root`` from ``sender`` to every interested receiver."""
+        receivers = self.compiled.receivers_of(root)
+        sender_entity = self.compiled.entity_of.get(sender, sender)
+        now = self.state.time
+        runtimes = self._runtimes
+        for receiver_index, receiver_name, lossy, receiver_entity in receivers:
+            if receiver_name == sender:
+                continue
+            same_entity = sender_entity == receiver_entity
+            if lossy and not same_entity:
+                delivered = self.network.attempt_delivery(
+                    sender_entity, receiver_entity, root, now)
+            else:
+                delivered = True
+            record = EventRecord(
+                time=now, root=root, sender=sender, receiver=receiver_name,
+                delivered=delivered, lossy=lossy and not same_entity)
+            for observer in self.observers:
+                observer.on_event(record)
+            if delivered:
+                runtimes[receiver_index].pending.append(_PendingEvent(root, sender))
+
+    # -- sampling ----------------------------------------------------------------------
+    def _maybe_sample(self, force: bool = False) -> None:
+        if not self.record_variables:
+            return
+        now = self.state.time
+        if not force and now + EPSILON < self._next_sample_time:
+            return
+        for automaton_name, variable in self.record_variables:
+            value = self.state.value_of(automaton_name, variable)
+            for observer in self.observers:
+                observer.on_sample(automaton_name, variable, now, value)
+        self._next_sample_time = now + self.sample_interval
+
+    # -- invariant checking (advisory) ----------------------------------------------------
+    def check_invariants(self) -> None:
+        """Raise :class:`TimeBlockError` if any automaton violates its invariant now."""
+        for rt in self._runtimes:
+            loc = rt.location
+            if not loc.invariant.evaluate(rt.view):
+                raise TimeBlockError(
+                    f"automaton {rt.name!r} violates the invariant of location "
+                    f"{loc.name!r} at t={self.state.time:.6f}s and no edge fired")
+
+
+# ---------------------------------------------------------------------------
+# Engine selection
+# ---------------------------------------------------------------------------
+
+#: Environment variable that selects the default simulation kernel.
+ENGINE_ENV_VAR = "REPRO_ENGINE"
+
+#: Kernel names accepted by :func:`build_engine` and the campaign CLI.
+ENGINE_KINDS = ("reference", "compiled")
+
+
+def resolve_engine_kind(kind: str | None = None) -> str:
+    """Resolve the simulation kernel to use.
+
+    Precedence: explicit ``kind`` argument, then the ``REPRO_ENGINE``
+    environment variable, then the reference engine (the executable
+    specification stays the default; opt into the compiled kernel for
+    campaign-scale workloads).
+    """
+    import os
+
+    resolved = kind if kind is not None else os.environ.get(ENGINE_ENV_VAR)
+    if resolved is None or resolved == "":
+        return "reference"
+    if resolved not in ENGINE_KINDS:
+        raise ValueError(f"unknown simulation engine {resolved!r}; "
+                         f"expected one of {ENGINE_KINDS}")
+    return resolved
+
+
+def build_engine(system: HybridSystem, *, kind: str | None = None, **kwargs):
+    """Build a reference or compiled engine for ``system``.
+
+    ``kwargs`` are forwarded verbatim (both engines share the same
+    constructor signature).
+    """
+    from repro.hybrid.simulate.engine import SimulationEngine
+
+    if resolve_engine_kind(kind) == "compiled":
+        return CompiledEngine(system, **kwargs)
+    return SimulationEngine(system, **kwargs)

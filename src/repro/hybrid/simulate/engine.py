@@ -36,6 +36,7 @@ from repro.hybrid.edges import Edge
 from repro.hybrid.state import AutomatonState, SystemState
 from repro.hybrid.system import HybridSystem
 from repro.hybrid.trace import EventRecord, Trace, TransitionRecord
+from repro.hybrid.simulate.observers import TraceObserver, TraceRecorder
 from repro.hybrid.simulate.processes import Coupling, EnvironmentProcess
 from repro.util.seeding import spawn_rng
 from repro.util.timebase import EPSILON
@@ -89,7 +90,16 @@ class SimulationEngine:
         record_variables: ``(automaton, variable)`` pairs to sample into the
             trace.
         sample_interval: Sampling period for ``record_variables``.
+        observers: Additional :class:`TraceObserver` objects notified of
+            every transition, event delivery and sample (streaming
+            consumers that never need the full trace).
+        record_trace: When False, no :class:`TraceRecorder` is attached and
+            :meth:`run` returns ``None`` -- memory stays flat regardless of
+            the horizon; only the explicit ``observers`` see the run.
     """
+
+    #: Kernel name (the compiled counterpart reports ``"compiled"``).
+    kind = "reference"
 
     def __init__(self, system: HybridSystem, *, network: Network | None = None,
                  processes: Sequence[EnvironmentProcess] = (),
@@ -98,7 +108,9 @@ class SimulationEngine:
                  dt_max: float = 0.1,
                  max_cascade: int = 200,
                  record_variables: Iterable[tuple[str, str]] = (),
-                 sample_interval: float = 0.25):
+                 sample_interval: float = 0.25,
+                 observers: Sequence[TraceObserver] = (),
+                 record_trace: bool = True):
         self.system = system
         self.network = network or Network()
         self.processes: List[EnvironmentProcess] = list(processes)
@@ -110,8 +122,13 @@ class SimulationEngine:
         self.sample_interval = float(sample_interval)
         self.rng = spawn_rng(seed, "engine")
 
+        self._recorder = TraceRecorder() if record_trace else None
+        self.observers: List[TraceObserver] = (
+            ([self._recorder] if self._recorder is not None else [])
+            + list(observers))
         self.state = SystemState()
-        self.trace = Trace(system.risky_locations())
+        if self._recorder is not None:
+            self._recorder.trace = Trace(system.risky_locations())
         self._order: List[str] = list(system.automata)
         self._pending: Dict[str, List[_PendingEvent]] = {name: [] for name in self._order}
         self._receivers: Dict[str, list[tuple[str, bool]]] = {}
@@ -127,6 +144,11 @@ class SimulationEngine:
     def now(self) -> float:
         """Current simulation time (seconds)."""
         return self.state.time
+
+    @property
+    def trace(self) -> Trace | None:
+        """The recorded trace (``None`` when ``record_trace=False``)."""
+        return self._recorder.trace if self._recorder is not None else None
 
     def set_variable(self, automaton_name: str, variable: str, value: float) -> None:
         """Overwrite one variable of one member automaton (used by couplings)."""
@@ -148,8 +170,12 @@ class SimulationEngine:
         return self.state.location_of(automaton_name)
 
     # -- main loop ----------------------------------------------------------------
-    def run(self, horizon: float) -> Trace:
-        """Run the simulation from time zero up to ``horizon`` seconds."""
+    def run(self, horizon: float) -> Trace | None:
+        """Run the simulation from time zero up to ``horizon`` seconds.
+
+        Returns the recorded :class:`Trace`, or ``None`` when the engine
+        was built with ``record_trace=False`` (streaming observers only).
+        """
         if horizon <= 0:
             raise SimulationError("simulation horizon must be positive")
         self.network.reset(self.seed)
@@ -165,15 +191,22 @@ class SimulationEngine:
             self._wake_processes()
             self._process_discrete()
             self._maybe_sample()
-        self.trace.close(horizon)
+        for observer in self.observers:
+            observer.end_run(horizon)
         return self.trace
 
     # -- initialization -----------------------------------------------------------
     def _initialize(self) -> None:
         self.state = SystemState(time=0.0)
-        self.trace = Trace(self.system.risky_locations())
         self._pending = {name: [] for name in self._order}
         self._next_sample_time = 0.0
+        # A fresh run must re-enable every t=0 process wakeup: without this
+        # reset a second run() on the same engine would skip them because
+        # the previous run already recorded a wake at the same timestamps.
+        self._time_of_last_wake = {}
+        risky = self.system.risky_locations()
+        for observer in self.observers:
+            observer.begin_run(risky)
         for name, automaton in self.system.automata.items():
             if automaton.initial_location is None:
                 raise SimulationError(f"automaton {name!r} has no initial location")
@@ -181,8 +214,9 @@ class SimulationEngine:
                 location=automaton.initial_location,
                 valuation=automaton.initial_valuation,
                 entered_at=0.0)
-            self.trace.register_automaton(name, automaton.initial_location,
-                                          automaton.risky_locations)
+            for observer in self.observers:
+                observer.register_automaton(name, automaton.initial_location,
+                                            automaton.risky_locations)
         for process in self.processes:
             process.initialize(self)
         self._apply_couplings()
@@ -323,7 +357,8 @@ class SimulationEngine:
             time=self.state.time, automaton=name, source=edge.source,
             target=edge.target, reason=edge.reason, trigger_root=trigger_root,
             emitted=tuple(edge.emits))
-        self.trace.record_transition(record)
+        for observer in self.observers:
+            observer.on_transition(record)
         for process in self.processes:
             process.notify_transition(self, record)
         for root in edge.emits:
@@ -347,10 +382,12 @@ class SimulationEngine:
                     sender_entity, receiver_entity, root, self.state.time)
             else:
                 delivered = True
-            self.trace.record_event(EventRecord(
+            record = EventRecord(
                 time=self.state.time, root=root, sender=sender,
                 receiver=receiver_name, delivered=delivered,
-                lossy=lossy and not same_entity))
+                lossy=lossy and not same_entity)
+            for observer in self.observers:
+                observer.on_event(record)
             if delivered:
                 self._pending[receiver_name].append(_PendingEvent(root, sender))
 
@@ -362,7 +399,8 @@ class SimulationEngine:
             return
         for automaton_name, variable in self.record_variables:
             value = self.state.value_of(automaton_name, variable)
-            self.trace.record_sample(automaton_name, variable, self.state.time, value)
+            for observer in self.observers:
+                observer.on_sample(automaton_name, variable, self.state.time, value)
         self._next_sample_time = self.state.time + self.sample_interval
 
     # -- invariant checking (advisory) ----------------------------------------------------

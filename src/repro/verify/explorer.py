@@ -31,6 +31,8 @@ class CampaignSettings:
         trial_duration: Length of each trial (seconds).
         master_seed: Seed from which every trial seed is derived.
         with_lease: Whether to run the lease design or the no-lease baseline.
+        engine: Simulation kernel executing the trials (``"reference"`` /
+            ``"compiled"``); ``None`` defers to ``REPRO_ENGINE``.
     """
 
     scenarios: Sequence[FaultScenario] = field(default_factory=standard_fault_scenarios)
@@ -38,6 +40,7 @@ class CampaignSettings:
     trial_duration: float = 600.0
     master_seed: int = 42
     with_lease: bool = True
+    engine: str | None = None
 
 
 def run_case_study_campaign(config: CaseStudyConfig,
@@ -68,7 +71,8 @@ def run_case_study_campaign(config: CaseStudyConfig,
             channel = scenario.build_channel(seed)
             result = run_trial(config, with_lease=settings.with_lease, seed=seed,
                                duration=settings.trial_duration, channel=channel,
-                               keep_trace=bool(extra_properties))
+                               keep_trace=bool(extra_properties),
+                               engine=settings.engine)
             properties: list[PropertyResult] = [
                 PropertyResult("pte-safety", result.monitor.safe,
                                result.monitor.summary())]
@@ -93,11 +97,11 @@ def compare_lease_vs_baseline(config: CaseStudyConfig,
     with_settings = CampaignSettings(
         scenarios=settings.scenarios, seeds_per_scenario=settings.seeds_per_scenario,
         trial_duration=settings.trial_duration, master_seed=settings.master_seed,
-        with_lease=True)
+        with_lease=True, engine=settings.engine)
     without_settings = CampaignSettings(
         scenarios=settings.scenarios, seeds_per_scenario=settings.seeds_per_scenario,
         trial_duration=settings.trial_duration, master_seed=settings.master_seed,
-        with_lease=False)
+        with_lease=False, engine=settings.engine)
     return {
         "with_lease": run_case_study_campaign(config, with_settings),
         "without_lease": run_case_study_campaign(config, without_settings),

@@ -103,6 +103,25 @@ class TestDeterminism:
         assert [r.failures for r in result.results] == [
             s.failures for s in result.summaries]
 
+    def test_stats_payload_streams_full_results(self):
+        spec = table1_spec(duration=100.0)
+        result = run_campaign(spec, seed=3, max_workers=1, payload="stats")
+        assert result.results is not None and len(result.results) == 4
+        assert all(r.trace is None for r in result.results)
+        # The streaming observer populates monitor and ledger without a trace.
+        assert all(r.monitor is not None and r.ledger is not None
+                   for r in result.results)
+        assert [r.failures for r in result.results] == [
+            s.failures for s in result.summaries]
+
+    def test_compiled_engine_matches_reference_campaign(self):
+        spec = table1_spec(duration=120.0, replicates=1)
+        reference = run_campaign(spec, seed=5, max_workers=1, engine="reference")
+        compiled = run_campaign(spec, seed=5, max_workers=1, engine="compiled")
+        ref_payload = json.dumps(reference.to_json()["campaign"], sort_keys=True)
+        cmp_payload = json.dumps(compiled.to_json()["campaign"], sort_keys=True)
+        assert ref_payload == cmp_payload
+
 
 class TestTable1Compatibility:
     def test_campaign_matches_pre_refactor_serial_loop(self):
@@ -159,3 +178,26 @@ class TestCLI:
     def test_rejects_bad_arguments(self):
         assert campaign_main(["--replicates", "0"]) == 2
         assert campaign_main(["--workers", "-1"]) == 2
+
+    def test_payload_and_engine_flags_smoke(self, capsys):
+        code = campaign_main(["--experiment", "scenarios", "--quiet",
+                              "--payload", "stats", "--engine", "compiled"])
+        assert code == 0
+        assert "checks: PASS" in capsys.readouterr().out
+
+    def test_engine_flag_does_not_change_results(self, tmp_path):
+        # A 120 s horizon is too short for the paper's pass/fail checks, so
+        # only the exit codes and payloads being identical matters here.
+        payloads = {}
+        codes = {}
+        for engine in ("reference", "compiled"):
+            out = tmp_path / f"{engine}.json"
+            codes[engine] = campaign_main(["--experiment", "table1", "--quiet",
+                                           "--duration", "120", "--seed", "9",
+                                           "--engine", engine,
+                                           "--json", str(out)])
+            payload = json.loads(out.read_text())
+            payload["run"] = None  # wall-clock metadata differs, data must not
+            payloads[engine] = json.dumps(payload, sort_keys=True)
+        assert codes["reference"] == codes["compiled"]
+        assert payloads["reference"] == payloads["compiled"]

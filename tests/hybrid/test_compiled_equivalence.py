@@ -1,0 +1,295 @@
+"""Property-based equivalence: the compiled kernel vs the reference engine.
+
+The compiled kernel is only allowed to be *faster*: for every seed, every
+loss process and every model shape it must produce bit-identical traces
+(transitions, event deliveries, samples, timestamps) and bit-identical
+trial statistics.  These tests pit the two kernels against each other on
+randomized hybrid systems, on the laser-tracheotomy case study in both
+lease modes, and on the Table I campaign, and also pin the streaming
+observer pipeline against the historical post-hoc trace scan.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.casestudy import CaseStudyConfig, run_trial
+from repro.casestudy.emulation import build_case_study, lease_ledger_from_trace
+from repro.core.monitor import PTEMonitor
+from repro.hybrid import (BoxPredicate, CallableFlow, CallbackProcess, CompiledEngine,
+                          Edge, HybridAutomaton, HybridSystem, Location, Reset,
+                          SimulationEngine, VariableCopyCoupling, clock_flow,
+                          receive_lossy, var_ge, var_le)
+from repro.hybrid.simulate import TraceRecorder, build_engine, resolve_engine_kind
+from repro.hybrid.simulate.engine import Network
+
+
+class SeededLossyNetwork(Network):
+    """Deterministic Bernoulli loss network (fresh stream per reset)."""
+
+    def __init__(self, loss: float):
+        self.loss = loss
+        self._rng = random.Random(0)
+
+    def attempt_delivery(self, sender_entity, receiver_entity, root, now):
+        return self._rng.random() >= self.loss
+
+    def reset(self, seed=None):
+        self._rng = random.Random(seed)
+
+
+def periodic_automaton(name: str, period: float, *, emits=(), listens=None,
+                       priority: int = 0) -> HybridAutomaton:
+    """Two-location clock automaton, optionally reacting to an event."""
+    clock = f"c_{name}"
+    automaton = HybridAutomaton(name, variables=[clock])
+    automaton.add_location(Location(f"{name}.A", flow=clock_flow(clock)))
+    automaton.add_location(Location(f"{name}.B", flow=clock_flow(clock)))
+    automaton.initial_location = f"{name}.A"
+    automaton.add_edge(Edge(f"{name}.A", f"{name}.B", guard=var_ge(clock, period),
+                            reset=Reset({clock: 0.0}), emits=list(emits),
+                            reason="tick", priority=priority))
+    automaton.add_edge(Edge(f"{name}.B", f"{name}.A", guard=var_ge(clock, period),
+                            reset=Reset({clock: 0.0}), reason="tock"))
+    if listens is not None:
+        automaton.add_edge(Edge(f"{name}.B", f"{name}.A",
+                                trigger=receive_lossy(listens),
+                                reset=Reset({clock: 0.0}), reason="poked",
+                                priority=1))
+    return automaton
+
+
+def bouncer_automaton(name: str) -> HybridAutomaton:
+    """Box-invariant automaton bouncing a variable between 0 and 1."""
+    var = f"x_{name}"
+    automaton = HybridAutomaton(name, variables=[var])
+    automaton.add_location(Location(f"{name}.Up", flow=clock_flow(extra={var: 0.5}),
+                                    invariant=BoxPredicate(var, 0.0, 1.0)))
+    automaton.add_location(Location(f"{name}.Down", flow=clock_flow(extra={var: -0.5}),
+                                    invariant=BoxPredicate(var, 0.0, 1.0)))
+    automaton.initial_location = f"{name}.Up"
+    automaton.add_edge(Edge(f"{name}.Up", f"{name}.Down", guard=var_ge(var, 1.0),
+                            reason="top"))
+    automaton.add_edge(Edge(f"{name}.Down", f"{name}.Up", guard=var_le(var, 0.0),
+                            reason="bottom"))
+    return automaton
+
+
+def ode_automaton(name: str, gain: float) -> HybridAutomaton:
+    """Non-affine automaton relaxing a value toward a coupled input."""
+    out, target = f"y_{name}", f"u_{name}"
+    flow = CallableFlow(
+        lambda v: {out: gain * (v.get(target, 0.0) - v.get(out, 0.0))},
+        variables=(out,), description="first-order relaxation", substep=0.05)
+    automaton = HybridAutomaton(name, variables=[out, target],
+                                initial_valuation={out: 0.0, target: 0.0})
+    automaton.add_location(Location(f"{name}.Track", flow=flow))
+    automaton.initial_location = f"{name}.Track"
+    return automaton
+
+
+def build_random_system(periods, loss, inject_at, gain):
+    """One randomized hybrid system plus per-run engine ingredients."""
+    system = HybridSystem("equivalence")
+    names = [f"t{i}" for i in range(len(periods))]
+    for i, (name, period) in enumerate(zip(names, periods)):
+        emits = [f"ev{i}"]
+        listens = f"ev{(i + 1) % len(names)}" if len(names) > 1 else None
+        system.add(periodic_automaton(name, period, emits=emits, listens=listens),
+                   entity=f"node-{i}")
+    system.add(bouncer_automaton("bounce"), entity="node-0")
+    system.add(ode_automaton("ode", gain), entity="node-0")
+
+    def make_processes():
+        return [CallbackProcess([(t, lambda e: e.inject_event("ev0"))
+                                 for t in sorted(inject_at)])]
+
+    def make_couplings():
+        return [VariableCopyCoupling(
+            source_automaton="bounce", source_variable="x_bounce",
+            target_automaton="ode", target_variable="u_ode")]
+
+    return system, make_processes, make_couplings
+
+
+def run_engine(engine_cls, system, make_processes, make_couplings, loss, seed,
+               horizon):
+    engine = engine_cls(system, network=SeededLossyNetwork(loss),
+                        processes=make_processes(), couplings=make_couplings(),
+                        seed=seed, dt_max=0.25,
+                        record_variables=[("ode", "y_ode")],
+                        sample_interval=0.5)
+    return engine.run(horizon)
+
+
+def assert_traces_identical(reference, compiled):
+    assert reference.transitions == compiled.transitions
+    assert reference.events == compiled.events
+    assert reference.end_time == compiled.end_time
+    for automaton in reference.automata:
+        assert compiled.visits(automaton) == reference.visits(automaton)
+
+
+class TestRandomizedEquivalence:
+    @settings(max_examples=15, deadline=None)
+    @given(
+        periods=st.lists(st.floats(min_value=0.3, max_value=4.0,
+                                   allow_nan=False, allow_infinity=False),
+                         min_size=1, max_size=3),
+        loss=st.floats(min_value=0.0, max_value=1.0),
+        inject_at=st.lists(st.floats(min_value=0.0, max_value=9.0,
+                                     allow_nan=False, allow_infinity=False),
+                           max_size=3),
+        gain=st.floats(min_value=0.1, max_value=2.0),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    def test_random_systems_are_bit_identical(self, periods, loss, inject_at,
+                                              gain, seed):
+        system, make_processes, make_couplings = build_random_system(
+            periods, loss, inject_at, gain)
+        reference = run_engine(SimulationEngine, system, make_processes,
+                               make_couplings, loss, seed, 10.0)
+        compiled = run_engine(CompiledEngine, system, make_processes,
+                              make_couplings, loss, seed, 10.0)
+        assert_traces_identical(reference, compiled)
+        assert reference.series("ode", "y_ode") == compiled.series("ode", "y_ode")
+
+
+CONFIG = CaseStudyConfig()
+
+
+class TestCaseStudyEquivalence:
+    @pytest.mark.parametrize("seed", [0, 1, 2013])
+    @pytest.mark.parametrize("with_lease", [True, False])
+    def test_case_study_traces_bit_identical(self, seed, with_lease):
+        traces = {}
+        for engine_cls in (SimulationEngine, CompiledEngine):
+            case = build_case_study(CONFIG, with_lease=with_lease, seed=seed)
+            engine = engine_cls(case.system, network=case.network,
+                                processes=[case.surgeon],
+                                couplings=case.couplings, seed=seed,
+                                dt_max=CONFIG.dt_max,
+                                record_variables=[("patient", "spo2")],
+                                sample_interval=0.5)
+            traces[engine_cls.kind] = engine.run(300.0)
+        assert_traces_identical(traces["reference"], traces["compiled"])
+        assert (traces["reference"].series("patient", "spo2")
+                == traces["compiled"].series("patient", "spo2"))
+
+    @pytest.mark.parametrize("with_lease", [True, False])
+    def test_streaming_stats_match_post_hoc_oracle(self, with_lease):
+        oracle = run_trial(CONFIG, with_lease=with_lease, seed=5, duration=400.0,
+                           keep_trace=True, engine="reference")
+        for engine in ("reference", "compiled"):
+            stream = run_trial(CONFIG, with_lease=with_lease, seed=5,
+                               duration=400.0, engine=engine)
+            assert stream.trace is None
+            assert stream.table_row() == oracle.table_row()
+            assert stream.ventilator_pauses == oracle.ventilator_pauses
+            assert stream.max_emission_duration == oracle.max_emission_duration
+            assert stream.max_pause_duration == oracle.max_pause_duration
+            assert stream.min_spo2 == oracle.min_spo2
+            assert stream.supervisor_aborts == oracle.supervisor_aborts
+            assert stream.observed_loss_ratio == oracle.observed_loss_ratio
+            # Monitor report and lease ledger are populated by the streaming
+            # observer and agree with the trace-derived ones.
+            assert stream.monitor is not None and stream.ledger is not None
+            assert stream.monitor.failure_count == oracle.monitor.failure_count
+            assert stream.monitor.max_dwell == oracle.monitor.max_dwell
+            assert stream.monitor.risky_episodes == oracle.monitor.risky_episodes
+            oracle_ledger = lease_ledger_from_trace(oracle.trace, CONFIG)
+            for entity in ("ventilator", "laser_scalpel"):
+                assert ([(lease.granted_at, lease.released_at, lease.outcome)
+                         for lease in stream.ledger.of(entity)]
+                        == [(lease.granted_at, lease.released_at, lease.outcome)
+                            for lease in oracle_ledger.of(entity)])
+
+    @pytest.mark.parametrize("engine_cls", [SimulationEngine, CompiledEngine])
+    def test_stats_observer_tolerates_partial_systems(self, engine_cls):
+        # Monitored entities that never register (subsystem runs) must get
+        # empty risky sets, like the trace-based monitor gives them.
+        from repro.casestudy import TrialStatsObserver, build_standalone_ventilator
+
+        system = HybridSystem()
+        system.add(build_standalone_ventilator(), entity="ventilator")
+        stats = TrialStatsObserver(CONFIG)
+        engine_cls(system, observers=[stats], record_trace=False).run(30.0)
+        assert stats.report is not None
+        assert stats.report.max_dwell["laser_scalpel"] == 0.0
+
+    def test_interval_monitor_entry_point_matches_trace_entry_point(self):
+        result = run_trial(CONFIG, with_lease=False, seed=9, duration=400.0,
+                           keep_trace=True)
+        monitor = PTEMonitor(CONFIG.rules())
+        from repro.core.intervals import Interval, IntervalSet
+
+        risky_sets = {
+            entity: IntervalSet(Interval(s, e) for s, e in
+                                result.trace.risky_intervals(entity))
+            for entity in monitor.monitored_entities()}
+        direct = monitor.check(result.trace)
+        via_intervals = monitor.check_risky_intervals(risky_sets,
+                                                      result.trace.end_time)
+        assert via_intervals.failure_count == direct.failure_count
+        assert len(via_intervals.violations) == len(direct.violations)
+        assert via_intervals.max_dwell == direct.max_dwell
+
+
+class TestTable1CampaignEquivalence:
+    def test_table1_campaign_identical_across_engines(self):
+        import json
+
+        from repro.campaign import run_campaign, table1_spec
+
+        spec = table1_spec(duration=200.0, legacy_seed=2013)
+        payloads = {}
+        for engine in ("reference", "compiled"):
+            campaign = run_campaign(spec, seed=2013, max_workers=1,
+                                    engine=engine)
+            payloads[engine] = json.dumps(campaign.to_json()["campaign"],
+                                          sort_keys=True)
+        assert payloads["reference"] == payloads["compiled"]
+
+    def test_stats_payload_equals_full_payload(self):
+        from repro.campaign import run_campaign, table1_spec
+
+        spec = table1_spec(duration=150.0, legacy_seed=7)
+        stats = run_campaign(spec, seed=7, max_workers=1, payload="stats")
+        full = run_campaign(spec, seed=7, max_workers=1, payload="full")
+        assert stats.results is not None and full.results is not None
+        assert all(r.trace is None for r in stats.results)
+        assert all(r.trace is None for r in full.results)
+        for streamed, scanned in zip(stats.results, full.results):
+            assert streamed.table_row() == scanned.table_row()
+            assert streamed.monitor is not None
+            assert streamed.monitor.failure_count == scanned.monitor.failure_count
+            assert streamed.ledger is not None
+
+
+class TestEngineSelection:
+    def test_resolve_engine_kind_precedence(self, monkeypatch):
+        monkeypatch.delenv("REPRO_ENGINE", raising=False)
+        assert resolve_engine_kind(None) == "reference"
+        assert resolve_engine_kind("compiled") == "compiled"
+        monkeypatch.setenv("REPRO_ENGINE", "compiled")
+        assert resolve_engine_kind(None) == "compiled"
+        assert resolve_engine_kind("reference") == "reference"
+        monkeypatch.setenv("REPRO_ENGINE", "turbo")
+        with pytest.raises(ValueError):
+            resolve_engine_kind(None)
+
+    def test_build_engine_returns_requested_kernel(self):
+        system = HybridSystem()
+        system.add(periodic_automaton("t", 1.0))
+        assert build_engine(system, kind="reference").kind == "reference"
+        assert build_engine(system, kind="compiled").kind == "compiled"
+
+    def test_record_trace_false_streams_only(self):
+        system = HybridSystem()
+        system.add(periodic_automaton("t", 1.0))
+        recorder = TraceRecorder()
+        engine = CompiledEngine(system, record_trace=False, observers=[recorder])
+        assert engine.run(5.0) is None
+        assert engine.trace is None
+        assert len(recorder.trace.transitions) > 0

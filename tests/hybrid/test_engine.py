@@ -3,9 +3,10 @@
 import pytest
 
 from repro.errors import ZenoError
-from repro.hybrid import (CallbackProcess, Edge, FunctionCoupling, HybridAutomaton,
-                          HybridSystem, Location, Reset, SimulationEngine, clock_flow,
-                          receive, receive_lossy, var_ge)
+from repro.hybrid import (CallbackProcess, CompiledEngine, Edge, EnvironmentProcess,
+                          FunctionCoupling, HybridAutomaton, HybridSystem, Location,
+                          Reset, SimulationEngine, clock_flow, receive, receive_lossy,
+                          var_ge)
 from repro.hybrid.simulate.engine import Network
 
 
@@ -131,6 +132,49 @@ class TestCouplingsAndProcesses:
                                    (2.5, lambda e: seen.append(e.now))])
         SimulationEngine(system, processes=[process]).run(5.0)
         assert seen == pytest.approx([1.25, 2.5])
+
+
+class _WakeAtZeroProcess(EnvironmentProcess):
+    """Injects one event at t=0; re-armed by ``initialize`` on every run."""
+
+    name = "wake-at-zero"
+
+    def initialize(self, engine):
+        self._fired = False
+
+    def next_wakeup(self, now):
+        return None if self._fired else 0.0
+
+    def wake(self, engine, now):
+        self._fired = True
+        engine.inject_event("ping", sender=self.name)
+
+
+class TestRerun:
+    def _ping_system(self):
+        system = HybridSystem()
+        receiver = HybridAutomaton("receiver", variables=["cr"])
+        receiver.add_location(Location("receiver.Idle", flow=clock_flow("cr")))
+        receiver.add_location(Location("receiver.Got", flow=clock_flow("cr")))
+        receiver.initial_location = "receiver.Idle"
+        receiver.add_edge(Edge("receiver.Idle", "receiver.Got",
+                               trigger=receive_lossy("ping"), reason="got"))
+        system.add(receiver, entity="node")
+        return system
+
+    @pytest.mark.parametrize("engine_cls", [SimulationEngine, CompiledEngine])
+    def test_second_run_sees_time_zero_wakeups(self, engine_cls):
+        # Regression: _initialize used to keep _time_of_last_wake across
+        # runs, so a second run() on the same engine silently skipped every
+        # t=0 process wakeup.
+        engine = engine_cls(self._ping_system(),
+                            processes=[_WakeAtZeroProcess()])
+        first = engine.run(2.0)
+        first_transitions = list(first.transitions)
+        assert len(first_transitions) == 1 and first_transitions[0].time == 0.0
+        second = engine.run(2.0)
+        assert list(second.transitions) == first_transitions
+        assert second.events == first.events
 
 
 class TestPathologies:
