@@ -1,0 +1,91 @@
+"""Batched kernel vs serial compiled kernel on the Table I campaign workload.
+
+The batched engine exists for exactly one reason: campaign cells run many
+replicates of one model, and executing them as vectorized lanes must beat
+executing them one after another on the (already fast) compiled kernel.
+This benchmark times one campaign cell's worth of replicates both ways and
+**fails if the batched kernel is slower** — with the full workload it must
+clear 1.5x (the PR's acceptance bar; ~2.5x is typical at 64 lanes).
+
+``REPRO_BENCH_QUICK=1`` shrinks the horizon and the batch to CI
+smoke-test size; the speedup assertion then relaxes to the not-slower
+gate, since tiny batches amortize less.
+"""
+
+import time
+
+import pytest
+
+from _quick import BENCH_QUICK, quick
+from repro.campaign import run_campaign, table1_spec
+
+#: Simulated seconds per trial (the paper's Table I trials run 30 minutes).
+TRIAL_DURATION = quick(1800.0, 60.0)
+
+#: Replicates per campaign cell — one batch's worth of lanes.  Lockstep
+#: wins grow with the batch, so quick mode trims the horizon, not the
+#: width (below ~16 lanes the vector dispatch overhead dominates).
+REPLICATES = int(quick(64, 32))
+
+#: Minimum end-to-end speedup the batched kernel must show over the serial
+#: compiled kernel on the full workload (quick mode only gates not-slower).
+REQUIRED_SPEEDUP = 1.5
+
+
+def _table1_campaign(engine: str, batch_size: int | None = None):
+    spec = table1_spec(mean_toffs=(18.0,), duration=TRIAL_DURATION,
+                       replicates=REPLICATES, legacy_seed=None)
+    return run_campaign(spec, seed=2013, max_workers=1, engine=engine,
+                        batch_size=batch_size)
+
+
+@pytest.mark.benchmark(group="batched")
+def test_compiled_serial_table1_campaign(benchmark):
+    campaign = benchmark.pedantic(lambda: _table1_campaign("compiled"),
+                                  rounds=1, iterations=1)
+    assert campaign.total_trials == 2 * REPLICATES
+
+
+@pytest.mark.benchmark(group="batched")
+def test_batched_table1_campaign(benchmark):
+    campaign = benchmark.pedantic(
+        lambda: _table1_campaign("batched", batch_size=REPLICATES),
+        rounds=1, iterations=1)
+    assert campaign.total_trials == 2 * REPLICATES
+
+
+def test_batched_not_slower_than_compiled_serial():
+    """CI gate: lockstep lanes must beat serial compiled replicates.
+
+    One warmup per kernel hides import and lowering-cache noise, then a
+    single timed campaign each.  Both campaigns must also agree on every
+    aggregate, which pins the speedup to the same work.
+    """
+    import json
+
+    warm = table1_spec(mean_toffs=(18.0,), duration=30.0, replicates=2,
+                       legacy_seed=None)
+    run_campaign(warm, seed=1, max_workers=1, engine="compiled")
+    run_campaign(warm, seed=1, max_workers=1, engine="batched", batch_size=2)
+
+    started = time.perf_counter()
+    compiled = _table1_campaign("compiled")
+    compiled_s = time.perf_counter() - started
+
+    started = time.perf_counter()
+    batched = _table1_campaign("batched", batch_size=REPLICATES)
+    batched_s = time.perf_counter() - started
+
+    assert (json.dumps(compiled.to_json()["campaign"], sort_keys=True)
+            == json.dumps(batched.to_json()["campaign"], sort_keys=True))
+    speedup = compiled_s / batched_s
+    print(f"\ncompiled-serial {compiled_s:.3f}s, batched {batched_s:.3f}s, "
+          f"speedup {speedup:.2f}x over {2 * REPLICATES} trials of "
+          f"{TRIAL_DURATION:.0f}s simulated ({REPLICATES} lanes/batch)")
+    assert batched_s <= compiled_s, (
+        f"batched kernel regressed: {batched_s:.3f}s vs compiled-serial "
+        f"{compiled_s:.3f}s on the Table I campaign workload")
+    if not BENCH_QUICK:
+        assert speedup >= REQUIRED_SPEEDUP, (
+            f"batched kernel speedup {speedup:.2f}x below the "
+            f"{REQUIRED_SPEEDUP}x acceptance bar")

@@ -9,7 +9,8 @@ and a CLI (``python -m repro.campaign``).
 """
 
 from repro.campaign.aggregate import CampaignResult, GroupSummary, TrialSummary
-from repro.campaign.executor import (default_worker_count, execute_trial,
+from repro.campaign.executor import (default_worker_count, execute_batch,
+                                     execute_trial, resolve_batch_size,
                                      run_campaign)
 from repro.campaign.presets import (PRESETS, Preset, grid_spec, loss_sweep_spec,
                                     scenarios_spec, table1_spec)
@@ -19,7 +20,8 @@ from repro.campaign.spec import (CampaignSpec, ChannelSpec, SurgeonSpec, TrialRu
 __all__ = [
     "CampaignSpec", "TrialSpec", "TrialRun", "ChannelSpec", "SurgeonSpec",
     "expand_grid",
-    "run_campaign", "execute_trial", "default_worker_count",
+    "run_campaign", "execute_trial", "execute_batch", "resolve_batch_size",
+    "default_worker_count",
     "CampaignResult", "GroupSummary", "TrialSummary",
     "PRESETS", "Preset",
     "table1_spec", "loss_sweep_spec", "scenarios_spec", "grid_spec",

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from typing import Sequence
 
@@ -27,7 +28,7 @@ from repro.campaign.aggregate import TrialSummary
 from repro.campaign.executor import PAYLOAD_KINDS, default_worker_count, run_campaign
 from repro.campaign.presets import PRESETS
 from repro.campaign.spec import CampaignSpec
-from repro.hybrid.simulate import ENGINE_KINDS
+from repro.hybrid.simulate import ENGINE_ENV_VAR, ENGINE_KINDS
 
 
 def _csv_floats(text: str) -> tuple[float, ...]:
@@ -72,8 +73,15 @@ def build_parser() -> argparse.ArgumentParser:
                              "(default: summary)")
     parser.add_argument("--engine", choices=ENGINE_KINDS, default=None,
                         help="simulation kernel; default honours REPRO_ENGINE "
-                             "and falls back to the reference engine "
-                             "(both kernels are bit-identical)")
+                             "and falls back to the compiled kernel "
+                             "(all kernels are bit-identical; "
+                             "'reference' is the executable-spec escape hatch)")
+    parser.add_argument("--batch-size", type=int, default=None, metavar="B",
+                        help="replicates of one sweep cell dispatched as one "
+                             "unit and, with the batched kernel, executed in "
+                             "vectorized lockstep; 0 = auto heuristic "
+                             "(default). Implies --engine batched when no "
+                             "engine is chosen and B > 1")
     parser.add_argument("--json", default=None, metavar="PATH",
                         help="write the full campaign result as JSON")
     parser.add_argument("--quiet", action="store_true",
@@ -122,7 +130,16 @@ def main(argv: Sequence[str] | None = None) -> int:
     if args.workers < 0:
         print("error: --workers must be non-negative", file=sys.stderr)
         return 2
+    if args.batch_size is not None and args.batch_size < 0:
+        print("error: --batch-size must be non-negative", file=sys.stderr)
+        return 2
     workers = args.workers or default_worker_count()
+    engine = args.engine
+    if (engine is None and args.batch_size is not None and args.batch_size > 1
+            and not os.environ.get(ENGINE_ENV_VAR)):
+        # An explicit multi-trial batch only makes sense in lockstep — but
+        # never override the REPRO_ENGINE escape hatch.
+        engine = "batched"
 
     preset = PRESETS[args.experiment]
     spec = build_spec(args)
@@ -143,7 +160,8 @@ def main(argv: Sequence[str] | None = None) -> int:
                   f"{summary.failures} failures [{verdict}]")
 
     campaign = run_campaign(spec, seed=args.seed, max_workers=workers,
-                            payload=args.payload, engine=args.engine,
+                            payload=args.payload, engine=engine,
+                            batch_size=args.batch_size,
                             on_result=progress)
     result = preset.to_result(campaign)
     print()

@@ -8,9 +8,19 @@ embarrassingly parallel: every run's seed is derived from the campaign
 master seed and the run's position in the spec, never from scheduling, so
 any worker count yields bit-identical aggregates.
 
-Results stream back as trials complete (``on_result`` fires in completion
-order, for progress reporting); the final :class:`CampaignResult` orders
-summaries by trial index, making every derived statistic order-independent.
+The unit of dispatch is a **batch**: a chunk of replicates of one campaign
+cell.  The campaign spec (configuration included) ships to each worker once
+through the pool initializer, so a task pickles only ``(spec_index,
+(index, replicate, seed), ...)`` tuples; each worker lowers a cell's hybrid
+model once (the per-process cache in :mod:`repro.casestudy.emulation`) and
+reuses it for every trial of that cell.  With ``engine="batched"`` the
+replicates of a chunk additionally execute in vectorized lockstep as lanes
+of one :class:`~repro.hybrid.simulate.batched.BatchedEngine`.
+
+Results stream back as batches complete (``on_result`` fires once per trial
+in completion order, for progress reporting); the final
+:class:`CampaignResult` orders summaries by trial index, making every
+derived statistic order-independent.
 """
 
 from __future__ import annotations
@@ -18,12 +28,13 @@ from __future__ import annotations
 import os
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
-from typing import Callable, List, Tuple
+from typing import Callable, List, Sequence, Tuple
 
 from repro.campaign.aggregate import CampaignResult, TrialSummary
 from repro.campaign.spec import CampaignSpec, TrialRun
 from repro.casestudy.config import CaseStudyConfig
-from repro.casestudy.emulation import TrialResult, run_trial
+from repro.casestudy.emulation import TrialResult, run_trial, run_trial_batch
+from repro.hybrid.simulate import resolve_engine_kind
 
 #: Payload modes, in increasing weight:
 #:
@@ -37,14 +48,53 @@ from repro.casestudy.emulation import TrialResult, run_trial
 #:   dropped before the result leaves the worker.
 PAYLOAD_KINDS = ("summary", "stats", "full")
 
-#: Keep at most this many futures in flight per worker, so that expanding a
-#: 100x campaign does not materialize every pending future up front.
+#: Keep at most this many batch futures in flight per worker, so that
+#: expanding a 100x campaign does not materialize every pending future up
+#: front.
 _INFLIGHT_PER_WORKER = 4
+
+#: Largest replicate batch the auto heuristic will put in lockstep; beyond
+#: this the vector win flattens while latency and memory keep growing.
+_MAX_AUTO_BATCH = 64
+
+#: Campaign-level engine default.  Direct engine construction stays on the
+#: reference kernel (the executable specification); campaigns default to
+#: the soaked compiled kernel.  ``REPRO_ENGINE=reference`` or
+#: ``--engine reference`` are the escape hatches.
+DEFAULT_CAMPAIGN_ENGINE = "compiled"
+
+#: One dispatched batch: a campaign-cell index plus (index, replicate,
+#: seed) triples of the chunk's runs.  Everything else a worker needs is in
+#: the spec it received through the pool initializer.
+_BatchTask = Tuple[int, Tuple[Tuple[int, int, int], ...]]
+
+#: Worker-process state installed by :func:`_init_worker`.
+_WORKER_CTX: tuple | None = None
 
 
 def default_worker_count() -> int:
     """A sensible default worker count for this machine."""
     return max(1, os.cpu_count() or 1)
+
+
+def resolve_batch_size(batch_size: int | None, spec: CampaignSpec,
+                       workers: int, engine: str) -> int:
+    """Resolve the replicate-batch size for one campaign run.
+
+    ``None`` or ``0`` selects the auto heuristic: with the batched kernel,
+    split each cell's replicates evenly across the workers (capped at
+    ``_MAX_AUTO_BATCH`` lanes — the vector win saturates); with the scalar
+    kernels there is nothing to put in lockstep, so dispatch per trial.
+    """
+    if batch_size:
+        if batch_size < 1:
+            raise ValueError("batch size must be at least 1")
+        return int(batch_size)
+    if engine != "batched":
+        return 1
+    largest_cell = max(t.effective_replicates for t in spec.trials)
+    per_worker = -(-largest_cell // max(1, workers))  # ceil division
+    return max(1, min(_MAX_AUTO_BATCH, per_worker))
 
 
 def execute_trial(config: CaseStudyConfig, campaign_duration: float | None,
@@ -74,9 +124,76 @@ def execute_trial(config: CaseStudyConfig, campaign_duration: float | None,
     return run.index, summary, (result if payload != "summary" else None)
 
 
+def execute_batch(spec: CampaignSpec, task: _BatchTask, payload: str,
+                  engine: str,
+                  ) -> List[Tuple[int, TrialSummary, TrialResult | None]]:
+    """Execute one batch of same-cell replicates (runs inside a worker).
+
+    With the batched kernel, multi-trial chunks run in vectorized lockstep
+    through :func:`~repro.casestudy.emulation.run_trial_batch`; otherwise
+    (and for the trace-scanning ``"full"`` payload, which needs per-trial
+    traces) the chunk executes trial by trial — still amortizing the
+    per-worker lowered-model cache and the task pickling.
+    """
+    spec_index, runs_lite = task
+    trial = spec.trials[spec_index]
+    if engine == "batched" and len(runs_lite) > 1 and payload != "full":
+        trial_config = trial.configure(spec.config)
+        duration = trial.duration if trial.duration is not None else spec.duration
+        seeds = [seed for _, _, seed in runs_lite]
+        results = run_trial_batch(
+            trial_config, with_lease=trial.with_lease, seeds=seeds,
+            duration=duration, channel_builder=trial.channel.build,
+            surgeon_builder=((lambda _seed: trial.surgeon.build())
+                             if trial.surgeon is not None else None))
+        out = []
+        for (index, replicate, seed), result in zip(runs_lite, results):
+            run = TrialRun(index=index, spec_index=spec_index,
+                           replicate=replicate, seed=seed, spec=trial)
+            summary = TrialSummary.from_trial(run, result)
+            out.append((index, summary,
+                        result if payload != "summary" else None))
+        return out
+    return [execute_trial(spec.config, spec.duration,
+                          TrialRun(index=index, spec_index=spec_index,
+                                   replicate=replicate, seed=seed, spec=trial),
+                          payload, engine)
+            for index, replicate, seed in runs_lite]
+
+
+def _init_worker(spec: CampaignSpec, payload: str, engine: str) -> None:
+    """Pool initializer: receive the campaign constants once per worker."""
+    global _WORKER_CTX
+    _WORKER_CTX = (spec, payload, engine)
+
+
+def _execute_batch_in_worker(task: _BatchTask):
+    """Task entry point inside a pool worker (context from the initializer)."""
+    spec, payload, engine = _WORKER_CTX
+    return execute_batch(spec, task, payload, engine)
+
+
+def _chunk_runs(runs: Sequence[TrialRun], batch_size: int) -> List[_BatchTask]:
+    """Chunk expanded runs into same-cell batches of at most ``batch_size``."""
+    tasks: List[_BatchTask] = []
+    current: List[TrialRun] = []
+    for run in runs:
+        if current and (run.spec_index != current[0].spec_index
+                        or len(current) >= batch_size):
+            tasks.append((current[0].spec_index,
+                          tuple((r.index, r.replicate, r.seed) for r in current)))
+            current = []
+        current.append(run)
+    if current:
+        tasks.append((current[0].spec_index,
+                      tuple((r.index, r.replicate, r.seed) for r in current)))
+    return tasks
+
+
 def run_campaign(spec: CampaignSpec, *, seed: int = 0, max_workers: int = 1,
                  payload: str = "summary",
                  engine: str | None = None,
+                 batch_size: int | None = None,
                  on_result: Callable[[TrialSummary], None] | None = None,
                  ) -> CampaignResult:
     """Run a whole campaign, serially or across worker processes.
@@ -94,9 +211,15 @@ def run_campaign(spec: CampaignSpec, *, seed: int = 0, max_workers: int = 1,
             ``"full"`` collects the same results through the legacy
             record-a-trace path.
         engine: Simulation kernel executing the trials (``"reference"`` /
-            ``"compiled"``); ``None`` defers to ``REPRO_ENGINE`` and then
-            to the reference kernel.  Both kernels are bit-identical, so
-            this only affects throughput.
+            ``"compiled"`` / ``"batched"``); ``None`` defers to
+            ``REPRO_ENGINE`` and then to the compiled kernel (campaigns
+            default fast; the reference engine remains the escape hatch).
+            All kernels are bit-identical, so this only affects throughput.
+        batch_size: Replicates of one cell dispatched (and, with the
+            batched kernel, executed in lockstep) as one unit.  ``None`` /
+            ``0`` = auto: per-trial dispatch for scalar kernels, an even
+            per-worker split of each cell (at most 64 lanes) for the
+            batched kernel.
         on_result: Optional streaming callback, fired once per trial in
             completion order (useful for progress reporting; aggregation
             itself never depends on completion order).
@@ -108,40 +231,45 @@ def run_campaign(spec: CampaignSpec, *, seed: int = 0, max_workers: int = 1,
         raise ValueError(f"unknown payload kind {payload!r}")
     if max_workers < 1:
         raise ValueError("max_workers must be at least 1")
+    resolved_engine = resolve_engine_kind(engine,
+                                          default=DEFAULT_CAMPAIGN_ENGINE)
     runs = spec.expand(seed)
+    batch = resolve_batch_size(batch_size, spec, max_workers, resolved_engine)
+    tasks = _chunk_runs(runs, batch)
     started = time.perf_counter()
     summaries: List[TrialSummary | None] = [None] * len(runs)
     full: List[TrialResult | None] = [None] * len(runs)
 
-    def record(index: int, summary: TrialSummary,
-               result: TrialResult | None) -> None:
-        summaries[index] = summary
-        full[index] = result
-        if on_result is not None:
-            on_result(summary)
+    def record(batch_results) -> None:
+        for index, summary, result in batch_results:
+            summaries[index] = summary
+            full[index] = result
+            if on_result is not None:
+                on_result(summary)
 
-    if max_workers == 1 or len(runs) == 1:
-        for run in runs:
-            record(*execute_trial(spec.config, spec.duration, run, payload,
-                                  engine))
+    if max_workers == 1 or len(tasks) == 1:
+        for task in tasks:
+            record(execute_batch(spec, task, payload, resolved_engine))
     else:
-        workers = min(max_workers, len(runs))
+        workers = min(max_workers, len(tasks))
         window = workers * _INFLIGHT_PER_WORKER
-        with ProcessPoolExecutor(max_workers=workers) as pool:
+        with ProcessPoolExecutor(max_workers=workers,
+                                 initializer=_init_worker,
+                                 initargs=(spec, payload, resolved_engine),
+                                 ) as pool:
             pending = set()
-            queue = iter(runs)
-            for run in queue:
-                pending.add(pool.submit(execute_trial, spec.config,
-                                        spec.duration, run, payload, engine))
+            queue = iter(tasks)
+            for task in queue:
+                pending.add(pool.submit(_execute_batch_in_worker, task))
                 if len(pending) < window:
                     continue
                 done, pending = wait(pending, return_when=FIRST_COMPLETED)
                 for future in done:
-                    record(*future.result())
+                    record(future.result())
             while pending:
                 done, pending = wait(pending, return_when=FIRST_COMPLETED)
                 for future in done:
-                    record(*future.result())
+                    record(future.result())
 
     wall_time = time.perf_counter() - started
     if any(s is None for s in summaries):

@@ -5,7 +5,7 @@ from repro.casestudy.config import (LASER, PATIENT, SUPERVISOR, VENTILATOR,
                                     paper_case_study)
 from repro.casestudy.emulation import (CaseStudySystem, TrialResult, build_case_study,
                                        lease_ledger_from_trace, run_table1_trials,
-                                       run_trial, summarize_trials)
+                                       run_trial, run_trial_batch, summarize_trials)
 from repro.casestudy.laser import EMITTING_LOCATION, SHUTOFF_LOCATION, build_laser
 from repro.casestudy.observers import VENTILATOR_RISKY_CORE, TrialStatsObserver
 from repro.casestudy.patient import SPO2, VENTILATED, build_patient, time_to_threshold
@@ -18,7 +18,8 @@ from repro.casestudy.ventilator import (CYLINDER_HEIGHT, CYLINDER_SPEED, CYLINDE
 __all__ = [
     "CaseStudyConfig", "PatientModel", "SurgeonModel", "paper_case_study",
     "SUPERVISOR", "VENTILATOR", "LASER", "PATIENT",
-    "build_case_study", "run_trial", "run_table1_trials", "summarize_trials",
+    "build_case_study", "run_trial", "run_trial_batch", "run_table1_trials",
+    "summarize_trials",
     "CaseStudySystem", "TrialResult", "lease_ledger_from_trace",
     "TrialStatsObserver", "VENTILATOR_RISKY_CORE",
     "build_standalone_ventilator", "build_ventilator", "ventilating_locations",

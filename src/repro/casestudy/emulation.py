@@ -33,7 +33,9 @@ from repro.casestudy.ventilator import build_ventilator, ventilating_locations
 from repro.core.leases import LeaseLedger, LeaseOutcome
 from repro.core.monitor import MonitorReport, PTEMonitor
 from repro.core.rules import PTERuleSet
-from repro.hybrid.simulate import TraceObserver, build_engine
+from repro.hybrid.simulate import (BatchedEngine, Lane, TraceObserver, build_engine,
+                                   compile_system, resolve_engine_kind)
+from repro.hybrid.simulate.compiled import CompiledSystem
 from repro.hybrid.simulate.processes import (Coupling, EnvironmentProcess,
                                              LocationIndicatorCoupling,
                                              VariableCopyCoupling)
@@ -44,7 +46,7 @@ from repro.wireless.network import SinkWirelessNetwork
 
 __all__ = ["CaseStudySystem", "TrialResult", "VENTILATOR_RISKY_CORE",
            "build_case_study", "lease_ledger_from_trace", "run_trial",
-           "run_table1_trials", "summarize_trials"]
+           "run_trial_batch", "run_table1_trials", "summarize_trials"]
 
 
 @dataclass
@@ -59,6 +61,10 @@ class CaseStudySystem:
     config: CaseStudyConfig
     with_lease: bool
     extra_processes: List[EnvironmentProcess] = field(default_factory=list)
+    #: Pre-lowered system shared across trials of one campaign cell (set by
+    #: the per-worker cache); compiled/batched engines reuse it instead of
+    #: lowering the model again for every trial.
+    lowered: CompiledSystem | None = field(default=None, repr=False)
 
     def engine(self, *, seed: int | None = None,
                record_variables: Sequence[tuple[str, str]] = (),
@@ -78,7 +84,7 @@ class CaseStudySystem:
             record_trace: When False no trace is recorded (observers only).
         """
         return build_engine(
-            self.system,
+            self.lowered if self.lowered is not None else self.system,
             kind=kind,
             network=self.network,
             processes=[self.surgeon, *self.extra_processes],
@@ -128,10 +134,7 @@ def build_case_study(config: CaseStudyConfig, *, with_lease: bool = True,
     system.add(laser, entity=LASER)
     system.add(patient, entity=PATIENT)
 
-    network = SinkWirelessNetwork(
-        base_station=SUPERVISOR,
-        remote_entities=[VENTILATOR, LASER],
-        default_channel=channel or config.interference.to_channel(seed))
+    network = _trial_network(config, channel, seed)
 
     couplings: List[Coupling] = [
         # Physical coupling: the patient is ventilated exactly while the
@@ -145,12 +148,51 @@ def build_case_study(config: CaseStudyConfig, *, with_lease: bool = True,
             source_automaton=PATIENT, source_variable=SPO2,
             target_automaton=SUPERVISOR, target_variable=SUPERVISOR_SPO2),
     ]
-    surgeon_process = surgeon or SurgeonProcess(
-        config.surgeon, laser_name=LASER, initializer_index=LASER_INDEX, seed=seed)
+    surgeon_process = _trial_surgeon(config, surgeon, seed)
     return CaseStudySystem(
         system=system, network=network, surgeon=surgeon_process,
         couplings=couplings, rules=config.rules(), config=config,
         with_lease=with_lease, extra_processes=list(extra_processes))
+
+
+#: Per-process cache of lowered case studies, keyed by the (hashable)
+#: configuration and lease mode — i.e. by campaign cell.  Campaign workers
+#: build and lower each cell's hybrid system once and reuse it for every
+#: trial of that cell (the model is identical across replicates, only the
+#: seeds differ); both the compiled and the batched engine paths go through
+#: it.  The reference engine deliberately does not: the executable
+#: specification keeps building everything from scratch.
+_CASE_CACHE: Dict[tuple, "tuple[CaseStudySystem, CompiledSystem]"] = {}
+_CASE_CACHE_LIMIT = 8
+
+
+def _lowered_case_study(config: CaseStudyConfig, with_lease: bool):
+    """Template case study + lowered system for one campaign cell (cached)."""
+    key = (config, with_lease)
+    hit = _CASE_CACHE.get(key)
+    if hit is None:
+        case = build_case_study(config, with_lease=with_lease, seed=0)
+        if len(_CASE_CACHE) >= _CASE_CACHE_LIMIT:
+            _CASE_CACHE.pop(next(iter(_CASE_CACHE)))
+        hit = (case, compile_system(case.system))
+        _CASE_CACHE[key] = hit
+    return hit
+
+
+def _trial_network(config: CaseStudyConfig, channel: Channel | None,
+                   seed: int | None) -> SinkWirelessNetwork:
+    """Fresh per-trial wireless network (also used by ``build_case_study``)."""
+    return SinkWirelessNetwork(
+        base_station=SUPERVISOR,
+        remote_entities=[VENTILATOR, LASER],
+        default_channel=channel or config.interference.to_channel(seed))
+
+
+def _trial_surgeon(config: CaseStudyConfig, surgeon: SurgeonProcess | None,
+                   seed: int | None) -> SurgeonProcess:
+    """Fresh per-trial surgeon process (also used by ``build_case_study``)."""
+    return surgeon or SurgeonProcess(
+        config.surgeon, laser_name=LASER, initializer_index=LASER_INDEX, seed=seed)
 
 
 @dataclass
@@ -234,23 +276,36 @@ def run_trial(config: CaseStudyConfig, *, with_lease: bool = True,
         keep_trace: Keep the full trace on the result (memory heavy) and
             derive the statistics from it instead of streaming.
         record_variables: ``(automaton, variable)`` pairs to sample.
-        engine: Simulation kernel (``"reference"`` / ``"compiled"``);
-            ``None`` defers to the ``REPRO_ENGINE`` environment variable
-            and then to the reference kernel.
+        engine: Simulation kernel (``"reference"`` / ``"compiled"`` /
+            ``"batched"``); ``None`` defers to the ``REPRO_ENGINE``
+            environment variable and then to the reference kernel.
 
     Returns:
         The trial's :class:`TrialResult`.
     """
     duration = config.trial_duration if duration is None else float(duration)
-    case = build_case_study(config, with_lease=with_lease, seed=seed,
-                            channel=channel, surgeon=surgeon,
-                            extra_processes=extra_processes)
+    kind = resolve_engine_kind(engine)
+    if kind == "reference":
+        case = build_case_study(config, with_lease=with_lease, seed=seed,
+                                channel=channel, surgeon=surgeon,
+                                extra_processes=extra_processes)
+    else:
+        # Fast kernels reuse the per-process lowered model of this campaign
+        # cell; only the trial's stochastic ingredients are rebuilt.
+        template, lowered = _lowered_case_study(config, with_lease)
+        case = CaseStudySystem(
+            system=template.system,
+            network=_trial_network(config, channel, seed),
+            surgeon=_trial_surgeon(config, surgeon, seed),
+            couplings=template.couplings, rules=template.rules,
+            config=config, with_lease=with_lease,
+            extra_processes=list(extra_processes), lowered=lowered)
     sampled = list(record_variables) or [(PATIENT, SPO2)]
     surgeon_process = case.surgeon
 
     if not keep_trace:
         stats = TrialStatsObserver(config)
-        sim = case.engine(seed=seed, record_variables=sampled, kind=engine,
+        sim = case.engine(seed=seed, record_variables=sampled, kind=kind,
                           observers=[stats], record_trace=False)
         sim.run(duration)
         measured = dict(
@@ -267,7 +322,7 @@ def run_trial(config: CaseStudyConfig, *, with_lease: bool = True,
             trace=None,
         )
     else:
-        sim = case.engine(seed=seed, record_variables=sampled, kind=engine)
+        sim = case.engine(seed=seed, record_variables=sampled, kind=kind)
         trace = sim.run(duration)
 
         report = PTEMonitor(case.rules).check(trace)
@@ -305,6 +360,88 @@ def run_trial(config: CaseStudyConfig, *, with_lease: bool = True,
     )
 
 
+def run_trial_batch(config: CaseStudyConfig, *, with_lease: bool = True,
+                    seeds: Sequence[int], duration: float | None = None,
+                    channel_builder=None, surgeon_builder=None,
+                    record_variables: Sequence[tuple[str, str]] = (),
+                    ) -> List[TrialResult]:
+    """Run one batch of replicate trials in vectorized lockstep.
+
+    The campaign counterpart of :func:`run_trial`: all trials share one
+    cached, pre-lowered model (they are replicates of the same campaign
+    cell) and execute as lanes of a single
+    :class:`~repro.hybrid.simulate.batched.BatchedEngine`, each lane with
+    its own seed, wireless network, surgeon process and streaming
+    statistics observer.  Per seed the returned :class:`TrialResult` is
+    identical to ``run_trial(config, seed=seed, ...)`` on any kernel.
+
+    Args:
+        config: Case-study configuration of the cell.
+        with_lease: Trial mode (Table I's first column).
+        seeds: One master seed per replicate lane.
+        duration: Trial length; defaults to ``config.trial_duration``.
+        channel_builder: Optional ``seed -> Channel | None`` factory (e.g.
+            ``spec.channel.build``); ``None``/returned ``None`` uses the
+            configuration's calibrated burst channel seeded per trial.
+        surgeon_builder: Optional ``seed -> SurgeonProcess`` factory for
+            scripted surgeons; ``None`` uses the stochastic surgeon model
+            seeded per trial.
+        record_variables: ``(automaton, variable)`` pairs to sample.
+
+    Returns:
+        One :class:`TrialResult` per seed, in seed order.
+    """
+    duration = config.trial_duration if duration is None else float(duration)
+    template, lowered = _lowered_case_study(config, with_lease)
+    sampled = list(record_variables) or [(PATIENT, SPO2)]
+    lanes: List[Lane] = []
+    stats_list: List[TrialStatsObserver] = []
+    networks: List[SinkWirelessNetwork] = []
+    surgeons: List[SurgeonProcess] = []
+    for seed in seeds:
+        channel = channel_builder(seed) if channel_builder is not None else None
+        network = _trial_network(config, channel, seed)
+        surgeon = _trial_surgeon(
+            config, surgeon_builder(seed) if surgeon_builder is not None else None,
+            seed)
+        stats = TrialStatsObserver(config)
+        lanes.append(Lane(seed=seed, network=network, processes=[surgeon],
+                          observers=[stats]))
+        stats_list.append(stats)
+        networks.append(network)
+        surgeons.append(surgeon)
+    # Same sampling cadence as CaseStudySystem.engine's default, so lane
+    # statistics match run_trial's streaming path sample for sample.
+    engine = BatchedEngine(lowered, lanes=lanes, couplings=template.couplings,
+                           dt_max=config.dt_max, record_variables=sampled,
+                           sample_interval=0.5, record_trace=False)
+    engine.run(duration)
+    results = []
+    for seed, stats, network, surgeon in zip(seeds, stats_list, networks,
+                                             surgeons):
+        results.append(TrialResult(
+            with_lease=with_lease,
+            mean_toff=config.surgeon.mean_toff,
+            duration=duration,
+            seed=seed,
+            laser_emissions=stats.laser_emissions,
+            failures=stats.failures,
+            evt_to_stop=stats.evt_to_stop,
+            ventilator_pauses=stats.ventilator_pauses,
+            max_emission_duration=stats.max_emission_duration,
+            max_pause_duration=stats.max_pause_duration,
+            min_spo2=stats.min_spo2,
+            supervisor_aborts=stats.supervisor_aborts,
+            surgeon_requests=getattr(surgeon, "requests_issued", 0),
+            surgeon_cancels=getattr(surgeon, "cancels_issued", 0),
+            observed_loss_ratio=network.observed_loss_ratio(),
+            monitor=stats.report,
+            ledger=stats.ledger,
+            trace=None,
+        ))
+    return results
+
+
 def run_table1_trials(config: CaseStudyConfig | None = None, *,
                       mean_toffs: Sequence[float] = (18.0, 6.0),
                       seed: int = 2013,
@@ -316,7 +453,11 @@ def run_table1_trials(config: CaseStudyConfig | None = None, *,
     payload (full per-trial results, statistics computed online, no traces
     retained); trial seeds are pinned to the historical per-trial
     derivation, so results are identical for any worker count and to the
-    pre-campaign serial loop.
+    pre-campaign serial loop.  Like every campaign entry point this now
+    defaults to the compiled kernel (bit-identical to the reference engine,
+    several times faster); set ``REPRO_ENGINE=reference`` — or pass
+    ``--engine reference`` on the campaign CLI — to fall back to the
+    executable specification.
 
     Args:
         config: Base case-study configuration (paper defaults when omitted).

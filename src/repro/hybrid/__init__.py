@@ -22,9 +22,10 @@ from repro.hybrid.locations import Location
 from repro.hybrid.state import AutomatonState, SystemState
 from repro.hybrid.system import HybridSystem
 from repro.hybrid.trace import EventRecord, LocationVisit, Trace, TransitionRecord
-from repro.hybrid.simulate import (CallbackProcess, CompiledEngine, CompiledSystem,
-                                   Coupling, DwellTracker, EnvironmentProcess,
-                                   FunctionCoupling, LocationIndicatorCoupling, Network,
+from repro.hybrid.simulate import (BatchedEngine, CallbackProcess, CompiledEngine,
+                                   CompiledSystem, Coupling, DwellTracker,
+                                   EnvironmentProcess, FunctionCoupling, Lane,
+                                   LocationIndicatorCoupling, Network,
                                    PerfectNetwork, SimulationEngine, TraceObserver,
                                    TraceRecorder, VariableCopyCoupling, build_engine,
                                    compile_system, resolve_engine_kind, simulate)
@@ -40,7 +41,8 @@ __all__ = [
     # composition and execution
     "HybridSystem", "AutomatonState", "SystemState",
     "Trace", "TransitionRecord", "EventRecord", "LocationVisit",
-    "SimulationEngine", "CompiledEngine", "CompiledSystem", "compile_system",
+    "SimulationEngine", "CompiledEngine", "BatchedEngine", "Lane",
+    "CompiledSystem", "compile_system",
     "build_engine", "resolve_engine_kind", "simulate", "Network", "PerfectNetwork",
     "TraceObserver", "TraceRecorder", "DwellTracker",
     "EnvironmentProcess", "CallbackProcess", "Coupling", "FunctionCoupling",

@@ -112,6 +112,14 @@ class CallableFlow(Flow):
             structural checks and elaboration).
         description: Human-readable description for diagnostics.
         substep: Integration sub-step (seconds) used by :meth:`advance`.
+        vector_func: Optional lane-vectorized twin of ``func`` for the
+            batched kernel: it receives a valuation-like view whose
+            ``get``/``__getitem__`` return NumPy arrays (one element per
+            replicate lane) and must return a mapping of driven variable to
+            derivative array.  Element-wise it must perform *exactly* the
+            arithmetic of ``func`` so that batched runs stay bit-identical
+            to the reference engine; lanes fall back to per-lane scalar
+            integration when it is absent.
     """
 
     func: Callable[[Valuation], Mapping[str, float]]
@@ -119,13 +127,16 @@ class CallableFlow(Flow):
     description: str = "<ode>"
     substep: float = 0.01
     is_affine: bool = False
+    vector_func: Callable | None = None
 
-    def __init__(self, func, variables, description="<ode>", substep=0.01):
+    def __init__(self, func, variables, description="<ode>", substep=0.01,
+                 vector_func=None):
         object.__setattr__(self, "func", func)
         object.__setattr__(self, "variables", tuple(variables))
         object.__setattr__(self, "description", description)
         object.__setattr__(self, "substep", float(substep))
         object.__setattr__(self, "is_affine", False)
+        object.__setattr__(self, "vector_func", vector_func)
 
     def rates(self, valuation: Valuation) -> Dict[str, float]:
         return {k: float(v) for k, v in self.func(valuation).items()}

@@ -1,20 +1,25 @@
 """Simulation engines for hybrid systems (event-driven with exact clock crossings).
 
-Two interchangeable kernels execute the same semantics:
+Three interchangeable kernels execute the same semantics:
 
 * :class:`SimulationEngine` -- the *reference* engine, a direct
   transcription of the paper's semantics (the executable specification and
   equivalence oracle);
 * :class:`CompiledEngine` -- the *compiled* kernel, which lowers the model
   to index-based tables once per trial and mutates flat state in place,
-  producing bit-identical traces several times faster.
+  producing bit-identical traces several times faster;
+* :class:`BatchedEngine` -- the *batched* kernel, which runs B replicate
+  lanes of one compiled system in vectorized lockstep over NumPy
+  ``(B, n_slots)`` state, each lane bit-identical to a serial run with the
+  same seed (the campaign workhorse).
 
-Both push observations through the :class:`TraceObserver` pipeline, so
+All push observations through the :class:`TraceObserver` pipeline, so
 consumers can either record a full :class:`~repro.hybrid.trace.Trace` or
 stream statistics without retaining the run.  :func:`build_engine` selects
 a kernel by name or via the ``REPRO_ENGINE`` environment variable.
 """
 
+from repro.hybrid.simulate.batched import BatchedEngine, BatchedTables, Lane
 from repro.hybrid.simulate.compiled import (CompiledEngine, CompiledSystem,
                                             ENGINE_ENV_VAR, ENGINE_KINDS,
                                             build_engine, compile_system,
@@ -28,6 +33,9 @@ from repro.hybrid.simulate.processes import (CallbackProcess, Coupling, Environm
 __all__ = [
     "SimulationEngine",
     "CompiledEngine",
+    "BatchedEngine",
+    "BatchedTables",
+    "Lane",
     "CompiledSystem",
     "compile_system",
     "build_engine",

@@ -454,6 +454,21 @@ class CompiledSystem:
             self.receivers[root] = table
         return table
 
+    def batched_tables(self):
+        """Vector lowering tables for the batched kernel (built once, cached).
+
+        Lanes of every :class:`~repro.hybrid.simulate.batched.BatchedEngine`
+        sharing this compiled system reuse one table set, so a campaign cell
+        pays the batched lowering exactly once per process.
+        """
+        tables = getattr(self, "_batched_tables", None)
+        if tables is None:
+            from repro.hybrid.simulate.batched import build_batched_tables
+
+            tables = build_batched_tables(self)
+            self._batched_tables = tables
+        return tables
+
 
 def compile_system(system: HybridSystem) -> CompiledSystem:
     """Lower ``system`` into the compiled kernel's index-based tables."""
@@ -959,36 +974,49 @@ class CompiledEngine:
 ENGINE_ENV_VAR = "REPRO_ENGINE"
 
 #: Kernel names accepted by :func:`build_engine` and the campaign CLI.
-ENGINE_KINDS = ("reference", "compiled")
+ENGINE_KINDS = ("reference", "compiled", "batched")
 
 
-def resolve_engine_kind(kind: str | None = None) -> str:
+def resolve_engine_kind(kind: str | None = None, *,
+                        default: str = "reference") -> str:
     """Resolve the simulation kernel to use.
 
     Precedence: explicit ``kind`` argument, then the ``REPRO_ENGINE``
-    environment variable, then the reference engine (the executable
-    specification stays the default; opt into the compiled kernel for
-    campaign-scale workloads).
+    environment variable, then ``default``.  Direct engine construction
+    defaults to the reference engine (the executable specification); the
+    campaign layer passes ``default="compiled"`` so campaign-scale
+    workloads get the fast kernel unless the caller or the environment
+    opts out.
     """
     import os
 
     resolved = kind if kind is not None else os.environ.get(ENGINE_ENV_VAR)
     if resolved is None or resolved == "":
-        return "reference"
+        resolved = default
     if resolved not in ENGINE_KINDS:
         raise ValueError(f"unknown simulation engine {resolved!r}; "
                          f"expected one of {ENGINE_KINDS}")
     return resolved
 
 
-def build_engine(system: HybridSystem, *, kind: str | None = None, **kwargs):
-    """Build a reference or compiled engine for ``system``.
+def build_engine(system: HybridSystem | CompiledSystem, *,
+                 kind: str | None = None, **kwargs):
+    """Build a reference, compiled or batched engine for ``system``.
 
-    ``kwargs`` are forwarded verbatim (both engines share the same
-    constructor signature).
+    ``kwargs`` are forwarded verbatim (the engines share the same
+    constructor signature; the batched kernel runs in single-lane mode
+    when built this way).  The compiled and batched kernels accept a
+    pre-lowered :class:`CompiledSystem`; the reference engine unwraps it.
     """
     from repro.hybrid.simulate.engine import SimulationEngine
 
-    if resolve_engine_kind(kind) == "compiled":
+    resolved = resolve_engine_kind(kind)
+    if resolved == "compiled":
         return CompiledEngine(system, **kwargs)
+    if resolved == "batched":
+        from repro.hybrid.simulate.batched import BatchedEngine
+
+        return BatchedEngine(system, **kwargs)
+    if isinstance(system, CompiledSystem):
+        system = system.system
     return SimulationEngine(system, **kwargs)

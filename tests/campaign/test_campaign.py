@@ -122,6 +122,43 @@ class TestDeterminism:
         cmp_payload = json.dumps(compiled.to_json()["campaign"], sort_keys=True)
         assert ref_payload == cmp_payload
 
+    def test_batch_size_does_not_change_aggregates(self):
+        # The batched kernel at any batch width, the compiled kernel, and
+        # the process pool must all produce byte-identical Table I
+        # aggregates: batching is a throughput knob, never a semantics knob.
+        spec = table1_spec(duration=120.0, replicates=5)
+        baseline = run_campaign(spec, seed=9, max_workers=1, engine="compiled")
+        base_payload = json.dumps(baseline.to_json()["campaign"], sort_keys=True)
+        for batch_size, workers in ((1, 1), (2, 1), (5, 1), (None, 1), (3, 2)):
+            campaign = run_campaign(spec, seed=9, max_workers=workers,
+                                    engine="batched", batch_size=batch_size)
+            payload = json.dumps(campaign.to_json()["campaign"], sort_keys=True)
+            assert payload == base_payload, (batch_size, workers)
+
+    def test_batched_stats_payload_streams_full_results(self):
+        spec = table1_spec(duration=100.0, replicates=3)
+        result = run_campaign(spec, seed=3, max_workers=1, engine="batched",
+                              payload="stats", batch_size=3)
+        assert result.results is not None and len(result.results) == 12
+        assert all(r.trace is None for r in result.results)
+        assert all(r.monitor is not None and r.ledger is not None
+                   for r in result.results)
+        assert [r.failures for r in result.results] == [
+            s.failures for s in result.summaries]
+
+    def test_auto_batch_size_heuristic(self):
+        from repro.campaign import resolve_batch_size
+
+        spec = table1_spec(duration=100.0, replicates=40)
+        assert resolve_batch_size(7, spec, 4, "batched") == 7
+        assert resolve_batch_size(None, spec, 1, "compiled") == 1
+        assert resolve_batch_size(None, spec, 4, "batched") == 10
+        assert resolve_batch_size(None, spec, 1, "batched") == 40
+        wide = table1_spec(duration=100.0, replicates=1000)
+        assert resolve_batch_size(None, wide, 1, "batched") == 64  # capped
+        with pytest.raises(ValueError):
+            resolve_batch_size(-1, spec, 1, "batched")
+
 
 class TestTable1Compatibility:
     def test_campaign_matches_pre_refactor_serial_loop(self):
@@ -184,6 +221,26 @@ class TestCLI:
                               "--payload", "stats", "--engine", "compiled"])
         assert code == 0
         assert "checks: PASS" in capsys.readouterr().out
+
+    def test_batch_size_flag_smoke(self, tmp_path):
+        # --batch-size without --engine implies the batched kernel; the
+        # results must equal an explicit compiled run of the same campaign.
+        payloads = {}
+        for name, extra in (("compiled", ["--engine", "compiled"]),
+                            ("batched", ["--batch-size", "4"])):
+            out = tmp_path / f"{name}.json"
+            code = campaign_main(["--experiment", "table1", "--quiet",
+                                  "--duration", "120", "--seed", "9",
+                                  "--replicates", "4", "--json", str(out),
+                                  *extra])
+            assert code in (0, 1)
+            payload = json.loads(out.read_text())
+            payload["run"] = None
+            payloads[name] = json.dumps(payload, sort_keys=True)
+        assert payloads["compiled"] == payloads["batched"]
+
+    def test_batch_size_rejects_negative(self):
+        assert campaign_main(["--batch-size", "-2"]) == 2
 
     def test_engine_flag_does_not_change_results(self, tmp_path):
         # A 120 s horizon is too short for the paper's pass/fail checks, so

@@ -1,12 +1,15 @@
-"""Property-based equivalence: the compiled kernel vs the reference engine.
+"""Property-based equivalence: the fast kernels vs the reference engine.
 
-The compiled kernel is only allowed to be *faster*: for every seed, every
-loss process and every model shape it must produce bit-identical traces
-(transitions, event deliveries, samples, timestamps) and bit-identical
-trial statistics.  These tests pit the two kernels against each other on
-randomized hybrid systems, on the laser-tracheotomy case study in both
-lease modes, and on the Table I campaign, and also pin the streaming
-observer pipeline against the historical post-hoc trace scan.
+The compiled and batched kernels are only allowed to be *faster*: for
+every seed, every loss process and every model shape they must produce
+bit-identical traces (transitions, event deliveries, samples, timestamps)
+and bit-identical trial statistics.  These tests pit the kernels against
+each other on randomized hybrid systems, on the laser-tracheotomy case
+study in both lease modes, and on the Table I campaign — the batched
+kernel additionally across batch widths, since its vectorized lockstep
+must leave every lane exactly equal to a serial run with the same seed —
+and also pin the streaming observer pipeline against the historical
+post-hoc trace scan.
 """
 
 import random
@@ -14,15 +17,16 @@ import random
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.casestudy import CaseStudyConfig, run_trial
+from repro.casestudy import CaseStudyConfig, run_trial, run_trial_batch
 from repro.casestudy.emulation import build_case_study, lease_ledger_from_trace
 from repro.core.monitor import PTEMonitor
-from repro.hybrid import (BoxPredicate, CallableFlow, CallbackProcess, CompiledEngine,
-                          Edge, HybridAutomaton, HybridSystem, Location, Reset,
-                          SimulationEngine, VariableCopyCoupling, clock_flow,
-                          receive_lossy, var_ge, var_le)
+from repro.hybrid import (BatchedEngine, BoxPredicate, CallableFlow, CallbackProcess,
+                          CompiledEngine, Edge, HybridAutomaton, HybridSystem, Lane,
+                          Location, Reset, SimulationEngine, VariableCopyCoupling,
+                          clock_flow, compile_system, receive_lossy, var_ge, var_le)
 from repro.hybrid.simulate import TraceRecorder, build_engine, resolve_engine_kind
 from repro.hybrid.simulate.engine import Network
+from repro.util.seeding import derive_seed
 
 
 class SeededLossyNetwork(Network):
@@ -154,6 +158,84 @@ class TestRandomizedEquivalence:
                               make_couplings, loss, seed, 10.0)
         assert_traces_identical(reference, compiled)
         assert reference.series("ode", "y_ode") == compiled.series("ode", "y_ode")
+
+
+#: Batch widths the lockstep tests sweep: the degenerate single lane, a
+#: small batch, and one spanning several vector-register granularities.
+BATCH_WIDTHS = (1, 3, 17)
+
+
+class TestBatchedEquivalence:
+    """Every lane of a batched run == the serial reference run of its seed."""
+
+    @pytest.mark.parametrize("width", BATCH_WIDTHS)
+    def test_random_system_lanes_are_bit_identical(self, width):
+        rng = random.Random(width)
+        periods = [rng.uniform(0.3, 4.0) for _ in range(3)]
+        loss = 0.4
+        inject_at = [1.0, 4.5, 7.25]
+        system, make_processes, make_couplings = build_random_system(
+            periods, loss, inject_at, gain=0.9)
+        seeds = [derive_seed(2013, f"batched:{width}:{lane}")
+                 for lane in range(width)]
+        references = [run_engine(SimulationEngine, system, make_processes,
+                                 make_couplings, loss, seed, 10.0)
+                      for seed in seeds]
+        lanes = [Lane(seed=seed, network=SeededLossyNetwork(loss),
+                      processes=make_processes()) for seed in seeds]
+        engine = BatchedEngine(compile_system(system), lanes=lanes,
+                               couplings=make_couplings(), dt_max=0.25,
+                               record_variables=[("ode", "y_ode")],
+                               sample_interval=0.5)
+        traces = engine.run(10.0)
+        assert len(traces) == width
+        for reference, lane_trace in zip(references, traces):
+            assert_traces_identical(reference, lane_trace)
+            assert (reference.series("ode", "y_ode")
+                    == lane_trace.series("ode", "y_ode"))
+
+    @pytest.mark.parametrize("width", BATCH_WIDTHS)
+    @pytest.mark.parametrize("with_lease", [True, False])
+    def test_case_study_batch_matches_reference_trials(self, width, with_lease):
+        config = CaseStudyConfig()
+        seeds = [derive_seed(7, f"case:{width}:{lane}") for lane in range(width)]
+        batch = run_trial_batch(config, with_lease=with_lease, seeds=seeds,
+                                duration=200.0)
+        assert len(batch) == width
+        for seed, result in zip(seeds, batch):
+            reference = run_trial(config, with_lease=with_lease, seed=seed,
+                                  duration=200.0, engine="reference")
+            assert result.table_row() == reference.table_row()
+            assert result.ventilator_pauses == reference.ventilator_pauses
+            assert result.max_emission_duration == reference.max_emission_duration
+            assert result.max_pause_duration == reference.max_pause_duration
+            assert result.min_spo2 == reference.min_spo2
+            assert result.supervisor_aborts == reference.supervisor_aborts
+            assert result.surgeon_requests == reference.surgeon_requests
+            assert result.observed_loss_ratio == reference.observed_loss_ratio
+            assert result.monitor is not None
+            assert result.monitor.failure_count == reference.monitor.failure_count
+            assert result.trace is None
+
+    def test_single_lane_mode_is_a_drop_in_engine(self):
+        system = HybridSystem()
+        system.add(periodic_automaton("t", 1.0))
+        reference = SimulationEngine(system, seed=3).run(5.0)
+        single = build_engine(system, kind="batched", seed=3)
+        assert single.kind == "batched"
+        trace = single.run(5.0)
+        assert_traces_identical(reference, trace)
+
+    def test_case_study_trace_path_matches_reference(self):
+        # keep_trace routes the batched kernel through its single-lane
+        # recording mode; the trace-derived statistics must match too.
+        config = CaseStudyConfig()
+        reference = run_trial(config, with_lease=True, seed=11, duration=150.0,
+                              keep_trace=True, engine="reference")
+        batched = run_trial(config, with_lease=True, seed=11, duration=150.0,
+                            keep_trace=True, engine="batched")
+        assert batched.table_row() == reference.table_row()
+        assert batched.min_spo2 == reference.min_spo2
 
 
 CONFIG = CaseStudyConfig()
