@@ -3,9 +3,10 @@
 Declarative parameter sweeps (:mod:`repro.campaign.spec`), a process-pool
 executor with deterministic per-trial seeding
 (:mod:`repro.campaign.executor`), streaming aggregation into
-experiment-compatible summaries (:mod:`repro.campaign.aggregate`), the
-paper's experiments as reusable presets (:mod:`repro.campaign.presets`),
-and a CLI (``python -m repro.campaign``).
+experiment-compatible summaries (:mod:`repro.campaign.aggregate`), a
+durable sqlite checkpoint store with crash/resume semantics
+(:mod:`repro.campaign.store`), the paper's experiments as reusable presets
+(:mod:`repro.campaign.presets`), and a CLI (``python -m repro.campaign``).
 """
 
 from repro.campaign.aggregate import CampaignResult, GroupSummary, TrialSummary
@@ -16,6 +17,9 @@ from repro.campaign.presets import (PRESETS, Preset, grid_spec, loss_sweep_spec,
                                     scenarios_spec, table1_spec)
 from repro.campaign.spec import (CampaignSpec, ChannelSpec, SurgeonSpec, TrialRun,
                                  TrialSpec, expand_grid)
+from repro.campaign.store import (CampaignStore, CampaignStoreError,
+                                  CheckpointStatus, RecoveryStage,
+                                  RecoveryStateMachine, spec_fingerprint)
 
 __all__ = [
     "CampaignSpec", "TrialSpec", "TrialRun", "ChannelSpec", "SurgeonSpec",
@@ -23,6 +27,8 @@ __all__ = [
     "run_campaign", "execute_trial", "execute_batch", "resolve_batch_size",
     "default_worker_count",
     "CampaignResult", "GroupSummary", "TrialSummary",
+    "CampaignStore", "CampaignStoreError", "CheckpointStatus",
+    "RecoveryStage", "RecoveryStateMachine", "spec_fingerprint",
     "PRESETS", "Preset",
     "table1_spec", "loss_sweep_spec", "scenarios_spec", "grid_spec",
 ]

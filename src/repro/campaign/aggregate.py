@@ -44,7 +44,15 @@ class TrialSummary:
 
     @classmethod
     def from_trial(cls, run: "TrialRun", result: "TrialResult") -> "TrialSummary":
-        """Extract the summary of one executed trial."""
+        """Extract the summary of one executed trial.
+
+        Args:
+            run: The trial's position in the campaign (cell, replicate, seed).
+            result: The trial's full result.
+
+        Returns:
+            The slim, picklable summary of the trial.
+        """
         return cls(
             label=run.spec.label,
             spec_index=run.spec_index,
@@ -92,7 +100,20 @@ class GroupSummary:
 
     @classmethod
     def from_summaries(cls, summaries: Sequence[TrialSummary]) -> "GroupSummary":
-        """Aggregate one cell's replicates (order-independent reductions)."""
+        """Aggregate one cell's replicates.
+
+        Every reduction is order-independent (sums, maxima, minima and a
+        mean), so the aggregate is invariant to completion order.
+
+        Args:
+            summaries: The cell's trial summaries (non-empty, same cell).
+
+        Returns:
+            The cell aggregate.
+
+        Raises:
+            ValueError: If ``summaries`` is empty.
+        """
         if not summaries:
             raise ValueError("cannot aggregate an empty trial group")
         first = summaries[0]
@@ -125,10 +146,13 @@ class CampaignResult:
 
     ``summaries`` is ordered by trial index (i.e. by position in the
     expanded spec), which makes every derived aggregate independent of the
-    worker count and completion order.  ``wall_time`` and ``workers`` are
-    execution metadata and deliberately excluded from :meth:`to_json`'s
-    ``"campaign"`` payload so that determinism checks can compare payloads
-    byte-for-byte.
+    worker count and completion order.  Trials replayed from a checkpoint
+    store land in the same ``summaries`` tuple as live trials — there is
+    only one aggregation path, which is what makes resumed aggregates
+    bit-identical to uninterrupted runs.  ``wall_time``, ``workers`` and
+    ``replayed_trials`` are execution metadata and deliberately excluded
+    from :meth:`to_json`'s ``"campaign"`` payload so that determinism
+    checks can compare payloads byte-for-byte.
     """
 
     spec: "CampaignSpec"
@@ -137,6 +161,7 @@ class CampaignResult:
     wall_time: float
     summaries: Tuple[TrialSummary, ...]
     results: Tuple["TrialResult", ...] | None = field(default=None, repr=False)
+    replayed_trials: int = 0
 
     @property
     def total_trials(self) -> int:
@@ -149,24 +174,38 @@ class CampaignResult:
         return self.total_trials / self.wall_time if self.wall_time > 0 else 0.0
 
     def group_map(self) -> Dict[int, List[TrialSummary]]:
-        """Summaries grouped by spec index, replicates in order."""
+        """Group the summaries by spec index, replicates in order."""
         grouped: Dict[int, List[TrialSummary]] = {}
         for summary in self.summaries:
             grouped.setdefault(summary.spec_index, []).append(summary)
         return grouped
 
     def groups(self) -> List[GroupSummary]:
-        """One aggregate per trial cell, in spec (presentation) order."""
+        """Return one aggregate per trial cell, in spec (presentation) order."""
         grouped = self.group_map()
         return [GroupSummary.from_summaries(grouped[index])
                 for index in sorted(grouped)]
 
     def spec_of(self, group: GroupSummary) -> "TrialSpec":
-        """The trial spec a group summary was aggregated from."""
+        """Look up the trial spec a group summary was aggregated from.
+
+        Args:
+            group: A cell aggregate produced by this campaign.
+
+        Returns:
+            The spec cell the aggregate's trials came from.
+        """
         return self.spec.trials[group.spec_index]
 
     def to_json(self) -> Dict[str, object]:
-        """JSON-ready payload: deterministic campaign data + run metadata."""
+        """Build the JSON-ready payload.
+
+        Returns:
+            A dict with a deterministic ``"campaign"`` section (identical
+            for any worker count, batch size, engine tier or crash/resume
+            split) and a ``"run"`` metadata section (wall time, workers,
+            replayed-trial count).
+        """
         return {
             "campaign": {
                 "name": self.spec.name,
@@ -179,5 +218,6 @@ class CampaignResult:
                 "workers": self.workers,
                 "wall_time_s": self.wall_time,
                 "trials_per_second": self.trials_per_second,
+                "replayed_trials": self.replayed_trials,
             },
         }

@@ -1,4 +1,4 @@
-"""Command-line Monte-Carlo campaign runner.
+r"""Command-line Monte-Carlo campaign runner.
 
 Examples::
 
@@ -13,7 +13,18 @@ Examples::
     python -m repro.campaign --experiment grid --loss-levels 0,0.3,0.6 \
         --mean-toffs 18,6 --replicates 5 --workers 4 --json grid.json
 
-The exit status is 0 when every experiment check holds, 1 otherwise.
+    # Durable campaign: checkpoint batches to a sqlite store, and after a
+    # crash (or Ctrl-C) resume from the last checkpoint -- replayed trials
+    # are not re-simulated, and aggregates are bit-identical to an
+    # uninterrupted run.  --status reports a store's progress.
+    python -m repro.campaign --experiment table1 --replicates 1000 \
+        --workers 8 --store table1.db
+    python -m repro.campaign --experiment table1 --replicates 1000 \
+        --workers 8 --store table1.db --resume
+    python -m repro.campaign --store table1.db --status
+
+The exit status is 0 when every experiment check holds, 1 otherwise
+(2 for usage errors, including checkpoint-store mismatches).
 """
 
 from __future__ import annotations
@@ -28,6 +39,7 @@ from repro.campaign.aggregate import TrialSummary
 from repro.campaign.executor import PAYLOAD_KINDS, default_worker_count, run_campaign
 from repro.campaign.presets import PRESETS
 from repro.campaign.spec import CampaignSpec
+from repro.campaign.store import CampaignStore, CampaignStoreError
 from repro.hybrid.simulate import ENGINE_ENV_VAR, ENGINE_KINDS
 
 
@@ -40,7 +52,12 @@ def _csv_floats(text: str) -> tuple[float, ...]:
 
 
 def build_parser() -> argparse.ArgumentParser:
-    """The campaign CLI's argument parser."""
+    """Build the campaign CLI's argument parser.
+
+    Returns:
+        The configured :class:`argparse.ArgumentParser` (its epilog lists
+        every registered preset).
+    """
     preset_lines = "\n".join(f"  {name:<12s} {preset.description}"
                              for name, preset in PRESETS.items())
     parser = argparse.ArgumentParser(
@@ -82,6 +99,22 @@ def build_parser() -> argparse.ArgumentParser:
                              "vectorized lockstep; 0 = auto heuristic "
                              "(default). Implies --engine batched when no "
                              "engine is chosen and B > 1")
+    parser.add_argument("--store", default=None, metavar="PATH",
+                        help="durable sqlite checkpoint store: completed "
+                             "replicate batches are committed as they "
+                             "retire, so a crashed or interrupted campaign "
+                             "can continue with --resume instead of "
+                             "starting over")
+    parser.add_argument("--resume", action="store_true",
+                        help="replay the trials checkpointed in --store "
+                             "(no re-simulation) and run only the "
+                             "remainder; requires the exact spec arguments "
+                             "and --seed of the original run, and yields "
+                             "aggregates bit-identical to an uninterrupted "
+                             "run")
+    parser.add_argument("--status", action="store_true",
+                        help="print the checkpoint status of --store and "
+                             "exit")
     parser.add_argument("--json", default=None, metavar="PATH",
                         help="write the full campaign result as JSON")
     parser.add_argument("--quiet", action="store_true",
@@ -90,7 +123,15 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def build_spec(args: argparse.Namespace) -> CampaignSpec:
-    """Translate parsed CLI arguments into the requested campaign spec."""
+    """Translate parsed CLI arguments into the requested campaign spec.
+
+    Args:
+        args: The parsed CLI namespace (``--experiment`` selects the
+            preset; sweep arguments are forwarded to its builder).
+
+    Returns:
+        The campaign spec the selected preset builds for these arguments.
+    """
     name = args.experiment
     if name == "table1":
         kwargs = {"replicates": args.replicates, "duration": args.duration,
@@ -122,7 +163,16 @@ def build_spec(args: argparse.Namespace) -> CampaignSpec:
 
 
 def main(argv: Sequence[str] | None = None) -> int:
-    """Entry point of ``python -m repro.campaign``."""
+    """Run the campaign CLI (the ``python -m repro.campaign`` entry point).
+
+    Args:
+        argv: Argument vector (``None`` reads ``sys.argv``).
+
+    Returns:
+        Process exit status: 0 when every experiment check holds, 1 when
+        one fails, 2 for usage errors (including checkpoint-store
+        mismatches).
+    """
     args = build_parser().parse_args(argv)
     if args.replicates < 1:
         print("error: --replicates must be at least 1", file=sys.stderr)
@@ -133,6 +183,21 @@ def main(argv: Sequence[str] | None = None) -> int:
     if args.batch_size is not None and args.batch_size < 0:
         print("error: --batch-size must be non-negative", file=sys.stderr)
         return 2
+    if (args.resume or args.status) and not args.store:
+        flag = "--status" if args.status else "--resume"
+        print(f"error: {flag} requires --store PATH", file=sys.stderr)
+        return 2
+    if args.status:
+        if not os.path.exists(args.store):
+            print(f"error: no checkpoint store at {args.store}", file=sys.stderr)
+            return 2
+        with CampaignStore(args.store) as checkpoint_store:
+            status = checkpoint_store.status()
+        if status is None:
+            print(f"{args.store}: empty store (no campaign bound yet)")
+        else:
+            print(status.describe())
+        return 0
     workers = args.workers or default_worker_count()
     engine = args.engine
     if (engine is None and args.batch_size is not None and args.batch_size > 1
@@ -159,16 +224,25 @@ def main(argv: Sequence[str] | None = None) -> int:
                   f"{summary.laser_emissions} emissions, "
                   f"{summary.failures} failures [{verdict}]")
 
-    campaign = run_campaign(spec, seed=args.seed, max_workers=workers,
-                            payload=args.payload, engine=engine,
-                            batch_size=args.batch_size,
-                            on_result=progress)
+    try:
+        campaign = run_campaign(spec, seed=args.seed, max_workers=workers,
+                                payload=args.payload, engine=engine,
+                                batch_size=args.batch_size,
+                                on_result=progress,
+                                store=args.store, resume=args.resume)
+    except CampaignStoreError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     result = preset.to_result(campaign)
     print()
     print(result.render())
     print(f"\n{campaign.total_trials} trials in {campaign.wall_time:.1f}s "
           f"({campaign.trials_per_second:.2f} trials/s, "
           f"{campaign.workers} worker(s))")
+    if campaign.replayed_trials:
+        live = campaign.total_trials - campaign.replayed_trials
+        print(f"resumed from {args.store}: {campaign.replayed_trials} "
+              f"trial(s) replayed from checkpoints, {live} executed live")
 
     if args.json:
         payload = campaign.to_json()

@@ -21,6 +21,12 @@ Results stream back as batches complete (``on_result`` fires once per trial
 in completion order, for progress reporting); the final
 :class:`CampaignResult` orders summaries by trial index, making every
 derived statistic order-independent.
+
+With a :class:`~repro.campaign.store.CampaignStore` attached, every retired
+batch is additionally committed to the store *before* it is published, and
+a resumed run replays the checkpointed prefix through the exact same
+aggregation path — see :mod:`repro.campaign.store` and
+``docs/checkpoint-format.md``.
 """
 
 from __future__ import annotations
@@ -32,6 +38,8 @@ from typing import Callable, List, Sequence, Tuple
 
 from repro.campaign.aggregate import CampaignResult, TrialSummary
 from repro.campaign.spec import CampaignSpec, TrialRun
+from repro.campaign.store import (CampaignStore, CampaignStoreError,
+                                  RecoveryStage, RecoveryStateMachine)
 from repro.casestudy.config import CaseStudyConfig
 from repro.casestudy.emulation import TrialResult, run_trial, run_trial_batch
 from repro.hybrid.simulate import resolve_engine_kind
@@ -73,7 +81,7 @@ _WORKER_CTX: tuple | None = None
 
 
 def default_worker_count() -> int:
-    """A sensible default worker count for this machine."""
+    """Return a sensible default worker count for this machine."""
     return max(1, os.cpu_count() or 1)
 
 
@@ -85,6 +93,18 @@ def resolve_batch_size(batch_size: int | None, spec: CampaignSpec,
     split each cell's replicates evenly across the workers (capped at
     ``_MAX_AUTO_BATCH`` lanes — the vector win saturates); with the scalar
     kernels there is nothing to put in lockstep, so dispatch per trial.
+
+    Args:
+        batch_size: The requested batch size (``None``/``0`` = auto).
+        spec: The campaign being run (its largest cell bounds the split).
+        workers: The worker-process count of the run.
+        engine: The resolved simulation-kernel name.
+
+    Returns:
+        The concrete batch size, at least 1.
+
+    Raises:
+        ValueError: If an explicit ``batch_size`` is negative.
     """
     if batch_size:
         if batch_size < 1:
@@ -103,10 +123,19 @@ def execute_trial(config: CaseStudyConfig, campaign_duration: float | None,
                   ) -> Tuple[int, TrialSummary, TrialResult | None]:
     """Execute one concrete trial (runs inside a worker process).
 
-    Returns the run index (for order restoration), the slim summary, and —
-    for the ``"stats"`` / ``"full"`` payloads — the complete
-    :class:`TrialResult` (without its trace, which is memory heavy and
-    scheduling sensitive).
+    Args:
+        config: The campaign-wide case-study configuration.
+        campaign_duration: The campaign-level duration default, if any.
+        run: The concrete trial to execute (cell, replicate, seed).
+        payload: What to return per trial (``"summary"``, ``"stats"``
+            or ``"full"``).
+        engine: Simulation-kernel override (``None`` = resolve default).
+
+    Returns:
+        The run index (for order restoration), the slim summary, and —
+        for the ``"stats"`` / ``"full"`` payloads — the complete
+        :class:`TrialResult` (without its trace, which is memory heavy and
+        scheduling sensitive).
     """
     if payload not in PAYLOAD_KINDS:
         raise ValueError(f"unknown payload kind {payload!r}")
@@ -134,6 +163,16 @@ def execute_batch(spec: CampaignSpec, task: _BatchTask, payload: str,
     (and for the trace-scanning ``"full"`` payload, which needs per-trial
     traces) the chunk executes trial by trial — still amortizing the
     per-worker lowered-model cache and the task pickling.
+
+    Args:
+        spec: The campaign spec (provides the cell and base config).
+        task: The ``(spec_index, runs)`` batch to execute.
+        payload: Per-trial payload kind (``"summary"``/``"stats"``/``"full"``).
+        engine: The resolved simulation-kernel name.
+
+    Returns:
+        One ``(index, summary, result-or-None)`` triple per trial of the
+        batch, in replicate order.
     """
     spec_index, runs_lite = task
     trial = spec.trials[spec_index]
@@ -195,6 +234,8 @@ def run_campaign(spec: CampaignSpec, *, seed: int = 0, max_workers: int = 1,
                  engine: str | None = None,
                  batch_size: int | None = None,
                  on_result: Callable[[TrialSummary], None] | None = None,
+                 store: CampaignStore | str | os.PathLike | None = None,
+                 resume: bool = False,
                  ) -> CampaignResult:
     """Run a whole campaign, serially or across worker processes.
 
@@ -220,12 +261,28 @@ def run_campaign(spec: CampaignSpec, *, seed: int = 0, max_workers: int = 1,
             ``0`` = auto: per-trial dispatch for scalar kernels, an even
             per-worker split of each cell (at most 64 lanes) for the
             batched kernel.
-        on_result: Optional streaming callback, fired once per trial in
-            completion order (useful for progress reporting; aggregation
-            itself never depends on completion order).
+        on_result: Optional streaming callback, fired once per trial —
+            first for replayed checkpoints in trial order, then for live
+            trials in completion order (useful for progress reporting;
+            aggregation itself never depends on completion order).
+        store: Optional durable checkpoint store — a
+            :class:`~repro.campaign.store.CampaignStore` or a path to one.
+            Retired batches are committed to it before they are published,
+            so a crashed run can continue where it stopped.  A path is
+            opened (and closed) by this call; a store instance stays open.
+        resume: Replay the checkpointed trials found in ``store`` instead
+            of rejecting a non-empty store, then execute only the
+            remainder.  Aggregates are bit-identical to an uninterrupted
+            run for any engine, batch size and worker count.
 
     Returns:
         The ordered, aggregated :class:`CampaignResult`.
+
+    Raises:
+        ValueError: If ``payload`` or ``max_workers`` is invalid.
+        CampaignStoreError: If ``store`` belongs to a different campaign,
+            a different master seed or payload mode, or holds checkpoints
+            while ``resume`` is false.
     """
     if payload not in PAYLOAD_KINDS:
         raise ValueError(f"unknown payload kind {payload!r}")
@@ -234,46 +291,88 @@ def run_campaign(spec: CampaignSpec, *, seed: int = 0, max_workers: int = 1,
     resolved_engine = resolve_engine_kind(engine,
                                           default=DEFAULT_CAMPAIGN_ENGINE)
     runs = spec.expand(seed)
-    batch = resolve_batch_size(batch_size, spec, max_workers, resolved_engine)
-    tasks = _chunk_runs(runs, batch)
-    started = time.perf_counter()
     summaries: List[TrialSummary | None] = [None] * len(runs)
     full: List[TrialResult | None] = [None] * len(runs)
+    recovery = RecoveryStateMachine()
 
-    def record(batch_results) -> None:
-        for index, summary, result in batch_results:
-            summaries[index] = summary
-            full[index] = result
-            if on_result is not None:
-                on_result(summary)
-
-    if max_workers == 1 or len(tasks) == 1:
-        for task in tasks:
-            record(execute_batch(spec, task, payload, resolved_engine))
+    own_store: CampaignStore | None = None
+    if store is None or isinstance(store, CampaignStore):
+        store_obj: CampaignStore | None = store
     else:
-        workers = min(max_workers, len(tasks))
-        window = workers * _INFLIGHT_PER_WORKER
-        with ProcessPoolExecutor(max_workers=workers,
-                                 initializer=_init_worker,
-                                 initargs=(spec, payload, resolved_engine),
-                                 ) as pool:
-            pending = set()
-            queue = iter(tasks)
-            for task in queue:
-                pending.add(pool.submit(_execute_batch_in_worker, task))
-                if len(pending) < window:
-                    continue
-                done, pending = wait(pending, return_when=FIRST_COMPLETED)
-                for future in done:
-                    record(future.result())
-            while pending:
-                done, pending = wait(pending, return_when=FIRST_COMPLETED)
-                for future in done:
-                    record(future.result())
+        store_obj = own_store = CampaignStore(store)
 
-    wall_time = time.perf_counter() - started
-    if any(s is None for s in summaries):
-        raise RuntimeError("campaign lost trials: not every run reported back")
+    try:
+        live_runs: Sequence[TrialRun] = runs
+        replayed_count = 0
+        if store_obj is not None:
+            replayed = store_obj.begin(spec, seed, payload, resume=resume)
+            if replayed:
+                recovery.advance(RecoveryStage.REPLAYING)
+            for index, summary, result in replayed:
+                if not 0 <= index < len(runs) or summaries[index] is not None:
+                    raise CampaignStoreError(
+                        f"store replayed an impossible trial index {index}")
+                summaries[index] = summary
+                full[index] = result
+                replayed_count += 1
+                if on_result is not None:
+                    on_result(summary)
+            done_indices = {index for index, _, _ in replayed}
+            live_runs = [run for run in runs if run.index not in done_indices]
+
+        batch = resolve_batch_size(batch_size, spec, max_workers,
+                                   resolved_engine)
+        tasks = _chunk_runs(live_runs, batch)
+        started = time.perf_counter()
+
+        def record(batch_results) -> None:
+            # Durability before publication: once a result is visible to
+            # the aggregates or the progress callback, it has survived.
+            if store_obj is not None:
+                store_obj.checkpoint_batch(batch_results)
+            for index, summary, result in batch_results:
+                summaries[index] = summary
+                full[index] = result
+                if on_result is not None:
+                    on_result(summary)
+
+        if tasks:
+            recovery.advance(RecoveryStage.LIVE)
+        if max_workers == 1 or len(tasks) <= 1:
+            for task in tasks:
+                record(execute_batch(spec, task, payload, resolved_engine))
+        else:
+            workers = min(max_workers, len(tasks))
+            window = workers * _INFLIGHT_PER_WORKER
+            with ProcessPoolExecutor(max_workers=workers,
+                                     initializer=_init_worker,
+                                     initargs=(spec, payload, resolved_engine),
+                                     ) as pool:
+                pending = set()
+                queue = iter(tasks)
+                for task in queue:
+                    pending.add(pool.submit(_execute_batch_in_worker, task))
+                    if len(pending) < window:
+                        continue
+                    done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                    for future in done:
+                        record(future.result())
+                while pending:
+                    done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                    for future in done:
+                        record(future.result())
+
+        wall_time = time.perf_counter() - started
+        if any(s is None for s in summaries):
+            raise RuntimeError(
+                "campaign lost trials: not every run reported back")
+        if store_obj is not None:
+            store_obj.mark_complete()
+        recovery.advance(RecoveryStage.COMPLETE)
+    finally:
+        if own_store is not None:
+            own_store.close()
+
     return CampaignResult(
         spec=spec,
         master_seed=seed,
@@ -281,4 +380,5 @@ def run_campaign(spec: CampaignSpec, *, seed: int = 0, max_workers: int = 1,
         wall_time=wall_time,
         summaries=tuple(summaries),
         results=tuple(full) if payload != "summary" else None,
+        replayed_trials=replayed_count,
     )

@@ -40,12 +40,23 @@ def table1_spec(config: CaseStudyConfig | None = None, *,
                 mean_toffs: Sequence[float] = (18.0, 6.0),
                 duration: float | None = None, replicates: int = 1,
                 legacy_seed: int | None = None) -> CampaignSpec:
-    """The Table I campaign: {with, without lease} x E(Toff) values.
+    """Build the Table I campaign: {with, without lease} x E(Toff) values.
 
     When ``legacy_seed`` is given, each cell's first replicate pins the
     exact seed the historical serial loop used, so the campaign reproduces
     the pre-campaign numbers bit-for-bit (additional replicates derive
     their seeds from the campaign master seed).
+
+    Args:
+        config: Base case-study configuration (``None`` = paper defaults).
+        mean_toffs: Surgeon E(Toff) values, one sweep column each.
+        duration: Per-trial duration override (``None`` = config default).
+        replicates: Independent trials per cell.
+        legacy_seed: Pin each cell's first replicate to the historical
+            serial seeds (``None`` = fully derived seeding).
+
+    Returns:
+        The Table I campaign spec.
     """
     base = config or CaseStudyConfig()
     trials = []
@@ -68,7 +79,14 @@ def table1_spec(config: CaseStudyConfig | None = None, *,
 
 
 def table1_result(campaign: CampaignResult) -> ExperimentResult:
-    """Fold a Table I campaign into the Table I experiment result."""
+    """Fold a Table I campaign into the Table I experiment result.
+
+    Args:
+        campaign: A completed ``table1`` campaign.
+
+    Returns:
+        The rendered Table I rows plus the paper-parity safety checks.
+    """
     from repro.experiments.runner import ExperimentResult
     from repro.experiments.table1 import PAPER_TABLE1
 
@@ -126,12 +144,24 @@ def loss_sweep_spec(config: CaseStudyConfig | None = None, *,
                     duration: float = 900.0,
                     seeds: Sequence[int] = (1, 2),
                     replicates: int | None = None) -> CampaignSpec:
-    """The loss-rate sweep: memoryless loss x {with, without lease}.
+    """Build the loss-rate sweep: memoryless loss x {with, without lease}.
 
     With ``replicates=None`` every cell pins the explicit ``seeds`` list
     (the historical serial behaviour); passing a replicate count instead
     derives all seeds from the campaign master seed, which is how the CLI
     scales the sweep to 10-100x the seed trial counts.
+
+    Args:
+        config: Base case-study configuration (``None`` = paper defaults).
+        loss_levels: Bernoulli packet-loss probabilities to sweep.
+        duration: Per-trial duration in seconds.
+        seeds: Explicit per-cell seed list (used when ``replicates`` is
+            ``None``).
+        replicates: Derived-seed replicate count per cell, or ``None`` for
+            the pinned historical seeds.
+
+    Returns:
+        The loss-sweep campaign spec.
     """
     base = config or CaseStudyConfig()
     trials = []
@@ -150,7 +180,14 @@ def loss_sweep_spec(config: CaseStudyConfig | None = None, *,
 
 
 def loss_sweep_result(campaign: CampaignResult) -> ExperimentResult:
-    """Fold a loss-sweep campaign into the loss-sweep experiment result."""
+    """Fold a loss-sweep campaign into the loss-sweep experiment result.
+
+    Args:
+        campaign: A completed ``loss_sweep`` campaign.
+
+    Returns:
+        The per-loss-level rows plus the lease-safety checks.
+    """
     from repro.experiments.runner import ExperimentResult
 
     rows = []
@@ -188,11 +225,18 @@ def loss_sweep_result(campaign: CampaignResult) -> ExperimentResult:
 
 def scenarios_spec(config: CaseStudyConfig | None = None, *,
                    horizon: float = 240.0) -> CampaignSpec:
-    """The scripted Section V failure stories, with and without leases.
+    """Build the scripted Section V failure stories, with and without leases.
 
     Deterministic by construction: scripted surgeons, scripted loss
     windows, pinned seeds, and no supervisor retransmissions (the paper's
     stories assume single sends).
+
+    Args:
+        config: Base case-study configuration (``None`` = paper defaults).
+        horizon: Story horizon in seconds.
+
+    Returns:
+        The scenarios campaign spec.
     """
     base = config or CaseStudyConfig()
     stories = (
@@ -217,7 +261,14 @@ def scenarios_spec(config: CaseStudyConfig | None = None, *,
 
 
 def scenarios_result(campaign: CampaignResult) -> ExperimentResult:
-    """Fold a scenarios campaign into the scenarios experiment result."""
+    """Fold a scenarios campaign into the scenarios experiment result.
+
+    Args:
+        campaign: A completed ``scenarios`` campaign.
+
+    Returns:
+        One row per scripted story/mode plus the expected-outcome checks.
+    """
     from repro.experiments.runner import ExperimentResult
 
     rows = []
@@ -252,7 +303,18 @@ def grid_spec(config: CaseStudyConfig | None = None, *,
               loss_levels: Sequence[float] = (0.0, 0.3, 0.6),
               mean_toffs: Sequence[float] = (18.0, 6.0),
               duration: float = 600.0, replicates: int = 1) -> CampaignSpec:
-    """Joint loss-rate x surgeon E(Toff) sweep — the "one spec away" grid."""
+    """Build the joint loss-rate x surgeon E(Toff) grid sweep.
+
+    Args:
+        config: Base case-study configuration (``None`` = paper defaults).
+        loss_levels: Bernoulli packet-loss probabilities (grid axis 1).
+        mean_toffs: Surgeon E(Toff) values (grid axis 2).
+        duration: Per-trial duration in seconds.
+        replicates: Independent trials per grid cell.
+
+    Returns:
+        The grid campaign spec (the "one spec away" sweep).
+    """
     base = config or CaseStudyConfig()
     trials = []
     for point in expand_grid(loss=loss_levels, mean_toff=mean_toffs):
@@ -273,7 +335,14 @@ def grid_spec(config: CaseStudyConfig | None = None, *,
 
 
 def grid_result(campaign: CampaignResult) -> ExperimentResult:
-    """Fold a grid campaign into a generic experiment result."""
+    """Fold a grid campaign into a generic experiment result.
+
+    Args:
+        campaign: A completed ``grid`` campaign.
+
+    Returns:
+        One row per grid point/mode plus the lease-safety check.
+    """
     from repro.experiments.runner import ExperimentResult
 
     rows = []

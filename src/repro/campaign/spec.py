@@ -31,8 +31,13 @@ CHANNEL_KINDS = ("default", "perfect", "bernoulli", "scripted")
 def mode_label(with_lease: bool, *, table_style: bool = False) -> str:
     """The lease-mode label used throughout results.
 
-    ``table_style=True`` capitalizes like the paper's Table I ("with
-    Lease"); the default matches the lowercase sweep-row convention.
+    Args:
+        with_lease: The trial mode being labelled.
+        table_style: Capitalize like the paper's Table I ("with Lease");
+            the default matches the lowercase sweep-row convention.
+
+    Returns:
+        The mode label string.
     """
     if table_style:
         return "with Lease" if with_lease else "without Lease"
@@ -61,7 +66,15 @@ class ChannelSpec:
             raise ValueError("loss must be within [0, 1]")
 
     def build(self, seed: int | None) -> Channel | None:
-        """Materialize the channel for one trial (``None`` = config default)."""
+        """Materialize the channel for one trial.
+
+        Args:
+            seed: The trial seed, used by stochastic channel kinds.
+
+        Returns:
+            The built channel, or ``None`` for the ``"default"`` kind
+            (defer to the case-study configuration's calibrated channel).
+        """
         if self.kind == "default":
             return None
         if self.kind == "perfect":
@@ -71,7 +84,7 @@ class ChannelSpec:
         return ScriptedChannel(list(self.windows))
 
     def describe(self) -> str:
-        """Short human-readable description for reports."""
+        """Return a short human-readable description for reports."""
         if self.kind == "bernoulli":
             return f"bernoulli(p={self.loss:g})"
         if self.kind == "scripted":
@@ -147,7 +160,15 @@ class TrialSpec:
         return dict(self.params)
 
     def configure(self, base: CaseStudyConfig) -> CaseStudyConfig:
-        """Apply this spec's configuration overrides to ``base``."""
+        """Apply this spec's configuration overrides to a base configuration.
+
+        Args:
+            base: The campaign-wide case-study configuration.
+
+        Returns:
+            A copy of ``base`` with this cell's overrides applied
+            (``base`` itself is never mutated).
+        """
         config = base
         if self.mean_toff is not None:
             config = config.with_mean_toff(self.mean_toff)
@@ -205,6 +226,12 @@ class CampaignSpec:
         Explicit seed lists are dropped in the copy: a scaled campaign
         derives all of its seeds from the master seed, which is what keeps
         10-100x replicate counts deterministic without enumerating seeds.
+
+        Args:
+            replicates: The new per-cell replicate count.
+
+        Returns:
+            The scaled campaign spec.
         """
         if replicates < 1:
             raise ValueError("replicates must be at least 1")
@@ -217,7 +244,13 @@ class CampaignSpec:
 
         The seed of a run depends only on the master seed and the run's
         position in the spec — never on scheduling — so any worker count
-        produces the same trials.
+        (and any crash/resume point) produces the same trials.
+
+        Args:
+            master_seed: The campaign master seed.
+
+        Returns:
+            The concrete runs, in trial-index order.
         """
         runs: List[TrialRun] = []
         for spec_index, trial in enumerate(self.trials):
@@ -241,6 +274,13 @@ def expand_grid(**axes: Sequence[object]) -> Iterator[Dict[str, object]]:
 
         for point in expand_grid(loss=(0.0, 0.3), mean_toff=(18.0, 6.0)):
             ...  # {"loss": 0.0, "mean_toff": 18.0}, ...
+
+    Args:
+        **axes: One keyword per swept parameter, each mapping the
+            parameter name to its value sequence.
+
+    Yields:
+        One ``{name: value}`` dict per point of the cartesian product.
     """
     names = list(axes)
     for values in itertools.product(*(axes[name] for name in names)):

@@ -1,0 +1,467 @@
+"""Durable campaign checkpointing: a sqlite store with crash/resume semantics.
+
+A campaign normally lives and dies with one process, so a crash at trial
+900k of a million-trial run loses everything.  The :class:`CampaignStore`
+makes completed replicate batches durable as the executor retires them:
+``run_campaign(..., store=PATH, resume=True)`` — or ``python -m
+repro.campaign --store PATH --resume`` — replays the checkpointed prefix
+without re-simulating a single trial and then continues the remainder
+live.  See ``docs/checkpoint-format.md`` for the on-disk format and
+``docs/ARCHITECTURE.md`` for where the store sits in the data flow.
+
+Three existing properties make resume exact, and the store exploits all of
+them:
+
+* **Deterministic seeding** (PR 1): a trial's seed depends only on the
+  campaign master seed and the trial's position in the spec — never on
+  scheduling — so the concrete trial set is a pure function of
+  ``(spec, master_seed)``.
+* **Streaming statistics** (PR 2): one trial's contribution to every
+  aggregate is the slim :class:`~repro.campaign.aggregate.TrialSummary`
+  computed online by the ``TrialStatsObserver`` pipeline (plus a picklable
+  ``TrialResult`` for the richer payloads), so a checkpoint is a few
+  hundred bytes, not a trace.
+* **Spec fingerprinting** (this module): the store binds itself to a
+  SHA-256 digest of the canonical encoding of ``(spec, master_seed)``;
+  resuming with anything that would change the trial set is rejected
+  instead of silently mixing results.  Engine, batch size and worker
+  count are deliberately *excluded* — they are throughput knobs that the
+  bit-identical equivalence contract guarantees cannot change results.
+
+Recovery follows an explicit state machine (the
+:class:`RecoveryStateMachine`)::
+
+    FRESH ──▶ REPLAYING ──▶ LIVE ──▶ COMPLETE
+      │            │                    ▲
+      │            └────────────────────┤   (everything was checkpointed)
+      └─────────────────────────────────┘   (fresh store: nothing to replay)
+
+``FRESH`` covers store-less runs and empty stores; ``REPLAYING`` loads the
+checkpointed records back through the exact aggregation path live results
+use; ``LIVE`` executes and checkpoints the remaining trials; ``COMPLETE``
+marks the store finished (resuming a complete store replays everything and
+simulates nothing).
+
+The module also hosts the crash-injection harness used by the test suite
+and the CI resume smoke: setting ``REPRO_CAMPAIGN_CRASH_AFTER=N`` in the
+environment hard-kills the process (``os._exit``, no cleanup — the moral
+equivalent of ``SIGKILL``) immediately after the N-th checkpoint commit,
+leaving a store holding exactly a partial prefix of the campaign.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import json
+import os
+import pickle
+import sqlite3
+from typing import TYPE_CHECKING, List, Optional, Tuple
+
+from repro.campaign.aggregate import TrialSummary
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only imports
+    from repro.campaign.spec import CampaignSpec
+    from repro.casestudy.emulation import TrialResult
+
+#: Version stamp of the sqlite layout; bumped on incompatible changes so a
+#: newer library refuses an older store loudly instead of misreading it.
+SCHEMA_VERSION = 1
+
+#: Environment variable read by the crash-injection harness: a positive
+#: integer N makes the process ``os._exit(CRASH_EXIT_CODE)`` right after
+#: the N-th checkpoint commit of this run.  Test/CI use only.
+CRASH_ENV_VAR = "REPRO_CAMPAIGN_CRASH_AFTER"
+
+#: Exit status of a crash-injected process, distinguishable from both
+#: success (0) and the CLI's check-failure (1) / usage-error (2) statuses.
+CRASH_EXIT_CODE = 86
+
+#: One checkpointed trial as the executor and the replay path exchange it:
+#: ``(trial_index, summary, full_result_or_None)``.
+CheckpointRecord = Tuple[int, TrialSummary, Optional["TrialResult"]]
+
+
+class CampaignStoreError(RuntimeError):
+    """A checkpoint store refused an operation (mismatch, misuse, corruption)."""
+
+
+class RecoveryStage(enum.Enum):
+    """Stages of the campaign recovery state machine, in lifecycle order."""
+
+    FRESH = "fresh"
+    REPLAYING = "replaying"
+    LIVE = "live"
+    COMPLETE = "complete"
+
+
+#: Legal stage transitions.  ``FRESH -> LIVE`` skips replay for store-less
+#: and empty-store runs; ``REPLAYING -> COMPLETE`` skips the live phase
+#: when every trial was already checkpointed.
+_RECOVERY_TRANSITIONS = {
+    RecoveryStage.FRESH: (RecoveryStage.REPLAYING, RecoveryStage.LIVE,
+                          RecoveryStage.COMPLETE),
+    RecoveryStage.REPLAYING: (RecoveryStage.LIVE, RecoveryStage.COMPLETE),
+    RecoveryStage.LIVE: (RecoveryStage.COMPLETE,),
+    RecoveryStage.COMPLETE: (),
+}
+
+
+class RecoveryStateMachine:
+    """Explicit ``FRESH -> REPLAYING -> LIVE -> COMPLETE`` stage tracker.
+
+    The executor drives one instance per ``run_campaign`` call; the machine
+    exists so the recovery flow is a checked protocol rather than implicit
+    control flow — an illegal transition (e.g. replaying twice, or going
+    live after completion) raises instead of silently corrupting results.
+    """
+
+    def __init__(self) -> None:
+        """Start a machine in the ``FRESH`` stage."""
+        self._stage = RecoveryStage.FRESH
+
+    @property
+    def stage(self) -> RecoveryStage:
+        """Return the current recovery stage."""
+        return self._stage
+
+    def advance(self, next_stage: RecoveryStage) -> RecoveryStage:
+        """Move to ``next_stage``, enforcing the legal transition graph.
+
+        Args:
+            next_stage: The stage to enter.
+
+        Returns:
+            The new (now current) stage.
+
+        Raises:
+            CampaignStoreError: If the transition is not legal from the
+                current stage.
+        """
+        if next_stage not in _RECOVERY_TRANSITIONS[self._stage]:
+            raise CampaignStoreError(
+                f"illegal recovery transition {self._stage.value!r} -> "
+                f"{next_stage.value!r}")
+        self._stage = next_stage
+        return self._stage
+
+
+def _canonical(value: object) -> object:
+    """Reduce a spec value to canonical JSON-ready primitives, recursively.
+
+    Args:
+        value: A dataclass instance, tuple/list, dict, or JSON primitive.
+
+    Returns:
+        A structure of dicts/lists/primitives whose ``json.dumps`` with
+        sorted keys is identical across processes and machines.
+
+    Raises:
+        CampaignStoreError: If the value contains something without a
+            canonical encoding (e.g. a function), which would make the
+            fingerprint unstable.
+    """
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {f.name: _canonical(getattr(value, f.name))
+                for f in dataclasses.fields(value)}
+    if isinstance(value, (list, tuple)):
+        return [_canonical(item) for item in value]
+    if isinstance(value, dict):
+        return {str(key): _canonical(val) for key, val in sorted(value.items())}
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    raise CampaignStoreError(
+        f"campaign spec contains a value with no canonical encoding: "
+        f"{value!r} ({type(value).__name__})")
+
+
+def spec_fingerprint(spec: "CampaignSpec", master_seed: int) -> str:
+    """Compute the identity digest a checkpoint store binds itself to.
+
+    The digest is a SHA-256 over the canonical JSON encoding of the whole
+    campaign spec (name, trial cells, base configuration, duration) plus
+    the master seed — exactly the inputs that determine the expanded trial
+    set and every per-trial seed.  Execution knobs (engine, batch size,
+    worker count) are excluded on purpose: the engine equivalence contract
+    guarantees they cannot change results, so they must not invalidate a
+    checkpoint.
+
+    Args:
+        spec: The campaign description.
+        master_seed: The campaign master seed.
+
+    Returns:
+        A 64-character lowercase hex digest.
+    """
+    payload = {"master_seed": int(master_seed), "spec": _canonical(spec)}
+    encoded = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(encoded.encode("utf-8")).hexdigest()
+
+
+@dataclasses.dataclass(frozen=True)
+class CheckpointStatus:
+    """Snapshot of a checkpoint store's progress, as shown by ``--status``."""
+
+    name: str
+    fingerprint: str
+    master_seed: int
+    payload: str
+    total_trials: int
+    checkpointed: int
+    complete: bool
+
+    @property
+    def stage(self) -> RecoveryStage:
+        """Return the stage a resume of this store would start from."""
+        if self.complete:
+            return RecoveryStage.COMPLETE
+        if self.checkpointed:
+            return RecoveryStage.REPLAYING
+        return RecoveryStage.FRESH
+
+    def describe(self) -> str:
+        """Render a short human-readable status report.
+
+        Returns:
+            A multi-line string suitable for printing on the CLI.
+        """
+        state = ("complete" if self.complete
+                 else f"in progress ({self.checkpointed}/{self.total_trials} "
+                      f"trials checkpointed)")
+        return (f"campaign:     {self.name}\n"
+                f"state:        {state}\n"
+                f"resume stage: {self.stage.value}\n"
+                f"master seed:  {self.master_seed}\n"
+                f"payload:      {self.payload}\n"
+                f"fingerprint:  {self.fingerprint}")
+
+
+class CampaignStore:
+    """Durable sqlite checkpoint store for one campaign run.
+
+    One store file holds one campaign: identity metadata (spec fingerprint,
+    master seed, payload mode, expected trial count) plus one row per
+    completed trial — its position, seed, the JSON-encoded
+    :class:`~repro.campaign.aggregate.TrialSummary`, and (for the
+    ``"stats"`` / ``"full"`` payloads) the pickled ``TrialResult``.  The
+    executor commits one transaction per retired batch, so after a crash
+    the store holds exactly the batches that completed.
+
+    Typical lifecycle (driven by ``run_campaign``)::
+
+        store = CampaignStore("campaign.db")
+        replayed = store.begin(spec, seed, payload, resume=True)
+        ...                       # executor replays, then runs the rest
+        store.checkpoint_batch(batch_results)   # once per retired batch
+        store.mark_complete()
+        store.close()
+    """
+
+    def __init__(self, path: str | os.PathLike) -> None:
+        """Open (creating if necessary) the store database at ``path``.
+
+        Args:
+            path: Filesystem path of the sqlite database.  Parent
+                directories must exist.
+        """
+        self.path = os.fspath(path)
+        self._conn = sqlite3.connect(self.path)
+        with self._conn:
+            self._conn.execute(
+                "CREATE TABLE IF NOT EXISTS meta ("
+                " key TEXT PRIMARY KEY, value TEXT NOT NULL)")
+            self._conn.execute(
+                "CREATE TABLE IF NOT EXISTS trials ("
+                " trial_index INTEGER PRIMARY KEY,"
+                " spec_index INTEGER NOT NULL,"
+                " replicate INTEGER NOT NULL,"
+                " seed INTEGER NOT NULL,"
+                " summary TEXT NOT NULL,"
+                " result BLOB)")
+        self._commits = 0
+        crash_after = os.environ.get(CRASH_ENV_VAR)
+        self._crash_after = int(crash_after) if crash_after else None
+
+    # -- metadata ----------------------------------------------------------
+
+    def _read_meta(self) -> dict:
+        """Return the meta table as a plain dict (empty for a fresh store)."""
+        rows = self._conn.execute("SELECT key, value FROM meta").fetchall()
+        return dict(rows)
+
+    def _write_meta(self, meta: dict) -> None:
+        """Replace the meta table contents with ``meta`` in one transaction."""
+        with self._conn:
+            self._conn.executemany(
+                "INSERT OR REPLACE INTO meta (key, value) VALUES (?, ?)",
+                [(key, str(value)) for key, value in meta.items()])
+
+    def checkpointed_count(self) -> int:
+        """Return how many trials have durable checkpoints."""
+        (count,) = self._conn.execute("SELECT COUNT(*) FROM trials").fetchone()
+        return int(count)
+
+    def completed_indices(self) -> set:
+        """Return the trial indices that already have durable checkpoints."""
+        rows = self._conn.execute("SELECT trial_index FROM trials").fetchall()
+        return {int(index) for (index,) in rows}
+
+    def status(self) -> CheckpointStatus | None:
+        """Return the store's progress snapshot, or ``None`` if it is empty.
+
+        Returns:
+            A :class:`CheckpointStatus`, or ``None`` when no campaign has
+            been bound to this store yet.
+        """
+        meta = self._read_meta()
+        if not meta:
+            return None
+        return CheckpointStatus(
+            name=meta.get("campaign_name", "?"),
+            fingerprint=meta.get("fingerprint", "?"),
+            master_seed=int(meta.get("master_seed", -1)),
+            payload=meta.get("payload", "?"),
+            total_trials=int(meta.get("total_trials", -1)),
+            checkpointed=self.checkpointed_count(),
+            complete=meta.get("complete") == "1",
+        )
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def begin(self, spec: "CampaignSpec", master_seed: int, payload: str, *,
+              resume: bool = False) -> List[CheckpointRecord]:
+        """Bind the store to one campaign run and return the replayable prefix.
+
+        A fresh (empty) store records the campaign's identity and returns
+        nothing to replay.  A store that already holds this campaign is
+        validated against the spec fingerprint and payload mode; with
+        ``resume=True`` its checkpointed trials are returned for replay,
+        without it the call is rejected so a stale store is never
+        overwritten by accident.
+
+        Args:
+            spec: The campaign description about to run.
+            master_seed: The run's master seed.
+            payload: The run's payload mode (``"summary"`` / ``"stats"`` /
+                ``"full"``); must match the checkpointed mode on resume.
+            resume: Whether the caller intends to continue a previous run.
+
+        Returns:
+            The checkpointed trials, ordered by trial index (empty for a
+            fresh store).
+
+        Raises:
+            CampaignStoreError: If the store belongs to a different
+                campaign/seed (fingerprint mismatch), was written with a
+                different payload mode or schema version, or holds
+                checkpoints and ``resume`` was not requested.
+        """
+        fingerprint = spec_fingerprint(spec, master_seed)
+        meta = self._read_meta()
+        if not meta:
+            self._write_meta({
+                "schema_version": SCHEMA_VERSION,
+                "campaign_name": spec.name,
+                "fingerprint": fingerprint,
+                "master_seed": int(master_seed),
+                "payload": payload,
+                "total_trials": spec.total_trials,
+                "complete": 0,
+            })
+            return []
+        version = meta.get("schema_version")
+        if version != str(SCHEMA_VERSION):
+            raise CampaignStoreError(
+                f"{self.path}: store schema version {version!r} is not the "
+                f"supported version {SCHEMA_VERSION}")
+        if meta.get("fingerprint") != fingerprint:
+            raise CampaignStoreError(
+                f"{self.path}: store holds campaign "
+                f"{meta.get('campaign_name')!r} (master seed "
+                f"{meta.get('master_seed')}, fingerprint "
+                f"{meta.get('fingerprint')[:12]}…) but this run is "
+                f"{spec.name!r} with fingerprint {fingerprint[:12]}…; a "
+                f"checkpoint is only valid for the exact spec and master "
+                f"seed it was created with — rerun with the original "
+                f"arguments, or point --store at a fresh path")
+        if meta.get("payload") != payload:
+            raise CampaignStoreError(
+                f"{self.path}: store was checkpointed with payload mode "
+                f"{meta.get('payload')!r}; resuming with {payload!r} would "
+                f"replay incomplete per-trial records — rerun with "
+                f"--payload {meta.get('payload')}")
+        if not resume and self.checkpointed_count():
+            raise CampaignStoreError(
+                f"{self.path}: store already holds "
+                f"{self.checkpointed_count()} checkpointed trial(s) of this "
+                f"campaign; pass resume=True (--resume) to continue it, or "
+                f"use a fresh store path")
+        return self.replay()
+
+    def replay(self) -> List[CheckpointRecord]:
+        """Load every checkpointed trial back into executor-shaped records.
+
+        Returns:
+            ``(trial_index, summary, result)`` tuples ordered by trial
+            index; ``result`` is ``None`` for rows checkpointed without a
+            full-result blob (the ``"summary"`` payload).
+        """
+        rows = self._conn.execute(
+            "SELECT trial_index, summary, result FROM trials "
+            "ORDER BY trial_index").fetchall()
+        records: List[CheckpointRecord] = []
+        for index, summary_json, result_blob in rows:
+            summary = TrialSummary(**json.loads(summary_json))
+            result = pickle.loads(result_blob) if result_blob is not None else None
+            records.append((int(index), summary, result))
+        return records
+
+    def checkpoint_batch(self, results: List[CheckpointRecord]) -> None:
+        """Durably commit one retired batch of trials, atomically.
+
+        The executor calls this *before* publishing the batch to the
+        in-memory aggregates and the progress callback, so anything the
+        user has seen reported is guaranteed to survive a crash.
+
+        Args:
+            results: ``(trial_index, summary, result)`` records of the
+                batch; ``result`` may be ``None`` (``"summary"`` payload).
+        """
+        rows = []
+        for index, summary, result in results:
+            blob = (sqlite3.Binary(pickle.dumps(result))
+                    if result is not None else None)
+            rows.append((int(index), summary.spec_index, summary.replicate,
+                         summary.seed, json.dumps(dataclasses.asdict(summary)),
+                         blob))
+        with self._conn:
+            self._conn.executemany(
+                "INSERT OR REPLACE INTO trials "
+                "(trial_index, spec_index, replicate, seed, summary, result) "
+                "VALUES (?, ?, ?, ?, ?, ?)", rows)
+        self._commits += 1
+        if self._crash_after is not None and self._commits >= self._crash_after:
+            # Crash-injection harness: die the hard way (no cleanup, no
+            # atexit, nothing flushed) right after a durable commit.
+            os._exit(CRASH_EXIT_CODE)
+
+    def mark_complete(self) -> None:
+        """Record that every trial of the campaign has been checkpointed."""
+        with self._conn:
+            self._conn.execute(
+                "INSERT OR REPLACE INTO meta (key, value) VALUES "
+                "('complete', '1')")
+
+    def close(self) -> None:
+        """Close the underlying sqlite connection."""
+        self._conn.close()
+
+    def __enter__(self) -> "CampaignStore":
+        """Return the store itself (context-manager support)."""
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        """Close the store on context exit."""
+        self.close()

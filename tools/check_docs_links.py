@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""Markdown link checker for the repo's documentation set.
+
+Scans every ``*.md`` file in the repository root and under ``docs/`` and
+verifies that
+
+* relative file links point at files (or directories) that exist;
+* fragment links (``#section``, alone or after a file path) resolve to a
+  heading in the target document, using GitHub's anchor slug rules
+  (lowercase, spaces to dashes, punctuation stripped).
+
+External links (``http(s)://``, ``mailto:``) are not fetched — CI must
+stay offline-safe — but everything that can rot silently inside the repo
+is checked.  Exit status is 0 when every link resolves, 1 otherwise.
+
+Usage::
+
+    python tools/check_docs_links.py [ROOT]
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+#: Inline markdown links: ``[text](target)``.  Images share the syntax.
+_LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+
+#: ATX headings, used to build the set of valid anchors per document.
+_HEADING = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+
+#: Fenced code blocks are stripped before link extraction so shell
+#: snippets like ``array[index](...)`` do not read as links.
+_FENCE = re.compile(r"```.*?```", re.DOTALL)
+
+_EXTERNAL = ("http://", "https://", "mailto:")
+
+
+def github_slug(heading: str) -> str:
+    """Reduce a heading to its GitHub anchor slug.
+
+    Args:
+        heading: The heading text, markdown formatting included.
+
+    Returns:
+        The anchor GitHub would generate for it.
+    """
+    text = re.sub(r"[`*_]", "", heading.strip()).lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def anchors_of(path: Path) -> set:
+    """Collect the valid anchor slugs of one markdown document."""
+    text = path.read_text(encoding="utf-8")
+    return {github_slug(match.group(1))
+            for match in _HEADING.finditer(_FENCE.sub("", text))}
+
+
+def check_file(path: Path, root: Path) -> list:
+    """Check one markdown file, returning a list of error strings."""
+    errors = []
+    text = _FENCE.sub("", path.read_text(encoding="utf-8"))
+    for match in _LINK.finditer(text):
+        target = match.group(1)
+        if target.startswith(_EXTERNAL):
+            continue
+        file_part, _, fragment = target.partition("#")
+        if file_part:
+            resolved = (path.parent / file_part).resolve()
+            if not resolved.exists():
+                errors.append(f"{path.relative_to(root)}: broken link "
+                              f"{target!r} (no such file)")
+                continue
+        else:
+            resolved = path
+        if fragment and resolved.suffix == ".md":
+            if fragment not in anchors_of(resolved):
+                errors.append(f"{path.relative_to(root)}: broken anchor "
+                              f"{target!r} (no heading with that slug in "
+                              f"{resolved.name})")
+    return errors
+
+
+def main(argv: list) -> int:
+    """Check every markdown document; print findings; return exit status."""
+    root = Path(argv[1]).resolve() if len(argv) > 1 else \
+        Path(__file__).resolve().parents[1]
+    documents = sorted(root.glob("*.md")) + sorted((root / "docs").glob("**/*.md"))
+    errors = []
+    for document in documents:
+        errors.extend(check_file(document, root))
+    for error in errors:
+        print(error, file=sys.stderr)
+    print(f"checked {len(documents)} markdown file(s): "
+          f"{'FAIL' if errors else 'ok'}")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
