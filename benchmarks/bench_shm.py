@@ -1,0 +1,197 @@
+"""Shared-memory results path vs pickled results path on pooled campaigns.
+
+The memory plane exists to take serialization off the campaign hot path:
+per-trial statistics travel as fixed-width records in a shared ring
+instead of being pickled in the worker, shipped through the pool pipe and
+unpickled in the parent.  Two measurements pin that down:
+
+* a **transport microbenchmark** — encoding one retired batch of trial
+  summaries into ring records versus round-tripping the same batch
+  through ``pickle`` — which must win decisively (this is the pure
+  serialization cost the plane eliminates, free of simulation noise);
+* the **64-lane Table-I campaign** end to end, shm on vs shm off, with 2
+  workers and a cross-worker batch split — gated not-slower (the
+  simulation itself dominates wall time, so the transport win shows up as
+  a small but consistent edge; best-of-N absorbs scheduler noise).
+
+Both campaigns must agree on every aggregate byte — the plane is a
+transport, never a semantics change.  ``REPRO_BENCH_QUICK=1`` shrinks the
+horizon for CI; the campaign gate then allows a small tolerance since a
+short run's wall time is mostly pool startup.
+"""
+
+import json
+import multiprocessing
+import pickle
+import time
+
+import pytest
+
+from _quick import BENCH_QUICK, quick
+from repro.campaign import run_campaign, table1_spec
+from repro.campaign.aggregate import TrialSummary
+from repro.campaign.shm import ResultsRing, shared_memory_available
+
+pytestmark = pytest.mark.skipif(not shared_memory_available(),
+                                reason="multiprocessing.shared_memory missing")
+
+#: Simulated seconds per trial (the paper's Table I trials run 30 minutes).
+TRIAL_DURATION = quick(1800.0, 60.0)
+
+#: Replicates per campaign cell — the ISSUE's 64-lane workload.
+REPLICATES = 64
+
+#: Worker processes; with ``batch_size = REPLICATES // 2`` each cell's
+#: lanes split across both workers (the cross-worker plane case).
+WORKERS = 2
+
+#: Transport microbenchmark: batches of summaries encoded per mode, reps
+#: per mode (best-of, alternating), and the minimum ring-vs-pickle
+#: advantage (measured ~1.3-1.4x best-of; the bar leaves noise headroom).
+RECORD_BATCHES = int(quick(2000, 400))
+TRANSPORT_REPS = 3
+REQUIRED_TRANSPORT_SPEEDUP = 1.1
+
+#: End-to-end campaigns per mode; the best run of each is compared.
+CAMPAIGN_ROUNDS = int(quick(3, 2))
+
+#: Quick mode tolerance: short campaigns are dominated by pool startup,
+#: so allow shm to be up to this factor slower before failing the gate.
+QUICK_TOLERANCE = 1.10
+
+
+def _summaries(count=32):
+    return [TrialSummary(
+        label="with lease, E(Toff)=18s", spec_index=0, replicate=i,
+        seed=1000 + i, with_lease=True, mean_toff=18.0,
+        duration=TRIAL_DURATION, laser_emissions=40 + i, failures=i % 2,
+        evt_to_stop=3, ventilator_pauses=39, max_emission_duration=2.25,
+        max_pause_duration=14.5, min_spo2=93.0625, supervisor_aborts=0,
+        surgeon_requests=41, surgeon_cancels=2,
+        observed_loss_ratio=0.31640625) for i in range(count)]
+
+
+def test_ring_transport_beats_pickle_round_trip():
+    """Microbenchmark gate: ring records vs pickled result batches.
+
+    Models what one retired batch costs on each results path, end to end
+    from the worker's finished summaries to the parent's two consumers
+    (the in-memory aggregates and the store's prepared sqlite rows):
+
+    * **pickle** — the worker serializes the summary list, the bytes
+      cross the pool's result pipe, the parent deserializes them, and
+      the store re-encodes every summary into a numeric row
+      (``checkpoint_batch``'s ``to_record`` pass);
+    * **ring** — the worker writes fixed-width records into the shared
+      ring, and the parent decodes summaries *and* extracts store rows
+      straight from the same block (``checkpoint_ring``'s single
+      ``tolist`` pass) — no serialization, no bytes through the pipe.
+    """
+    batch = _summaries()
+    ring = ResultsRing.create(len(batch))
+    labels = [s.label for s in batch]
+    parent_conn, worker_conn = multiprocessing.Pipe(duplex=False)
+    ring_best = pickle_best = float("inf")
+    try:
+        # warmup both paths
+        for s in batch:
+            ring.write(0, 0, 0, s)
+        pickle.loads(pickle.dumps(batch))
+
+        generation = 0
+        for _ in range(TRANSPORT_REPS):
+            started = time.perf_counter()
+            for _ in range(RECORD_BATCHES):
+                generation += 1
+                for slot, summary in enumerate(batch):
+                    ring.write(slot, generation, slot, summary)
+                decoded = ring.read(0, len(batch), generation, labels)
+                block = ring.records[:len(batch)]
+                store_rows = [(row[0], label) + tuple(row[2:]) + (None,)
+                              for row, label in zip(block.tolist(), labels)]
+            ring_best = min(ring_best, time.perf_counter() - started)
+
+            started = time.perf_counter()
+            for _ in range(RECORD_BATCHES):
+                worker_conn.send_bytes(pickle.dumps(batch))
+                decoded_p = pickle.loads(parent_conn.recv_bytes())
+                store_rows_p = [(i, s.label) + s.to_record() + (None,)
+                                for i, s in enumerate(decoded_p)]
+            pickle_best = min(pickle_best, time.perf_counter() - started)
+    finally:
+        worker_conn.close()
+        parent_conn.close()
+        ring.destroy()
+
+    assert decoded == batch
+    assert decoded_p == batch
+    assert store_rows == store_rows_p
+    speedup = pickle_best / ring_best
+    print(f"\nring best {ring_best:.3f}s, pickle best {pickle_best:.3f}s, "
+          f"speedup {speedup:.2f}x over {TRANSPORT_REPS}x{RECORD_BATCHES} "
+          f"batches of {len(batch)} records")
+    assert speedup >= REQUIRED_TRANSPORT_SPEEDUP, (
+        f"results-ring transport speedup {speedup:.2f}x below the "
+        f"{REQUIRED_TRANSPORT_SPEEDUP}x bar vs pickle")
+
+
+def _table1_campaign(shm: bool):
+    spec = table1_spec(mean_toffs=(18.0,), duration=TRIAL_DURATION,
+                       replicates=REPLICATES, legacy_seed=None)
+    return run_campaign(spec, seed=2013, max_workers=WORKERS,
+                        engine="batched", batch_size=REPLICATES // WORKERS,
+                        shm=shm)
+
+
+@pytest.mark.benchmark(group="shm")
+def test_shm_table1_campaign(benchmark):
+    campaign = benchmark.pedantic(lambda: _table1_campaign(True),
+                                  rounds=1, iterations=1)
+    assert campaign.total_trials == 2 * REPLICATES
+
+
+@pytest.mark.benchmark(group="shm")
+def test_pickle_table1_campaign(benchmark):
+    campaign = benchmark.pedantic(lambda: _table1_campaign(False),
+                                  rounds=1, iterations=1)
+    assert campaign.total_trials == 2 * REPLICATES
+
+
+def test_shm_not_slower_than_pickle_on_table1():
+    """CI gate: the zero-copy path must not lose to pickling end to end.
+
+    Best-of-N per mode (alternating, so thermal drift hits both), after a
+    shared warmup; aggregates must agree byte-for-byte, pinning both
+    timings to identical work.  Quick mode allows ``QUICK_TOLERANCE``
+    since a smoke-sized campaign is mostly pool startup.
+    """
+    warm = table1_spec(mean_toffs=(18.0,), duration=30.0, replicates=4,
+                       legacy_seed=None)
+    run_campaign(warm, seed=1, max_workers=WORKERS, engine="batched",
+                 batch_size=2, shm=True)
+    run_campaign(warm, seed=1, max_workers=WORKERS, engine="batched",
+                 batch_size=2, shm=False)
+
+    shm_best = pickle_best = float("inf")
+    shm_campaign = pickle_campaign = None
+    for _ in range(CAMPAIGN_ROUNDS):
+        started = time.perf_counter()
+        shm_campaign = _table1_campaign(True)
+        shm_best = min(shm_best, time.perf_counter() - started)
+        started = time.perf_counter()
+        pickle_campaign = _table1_campaign(False)
+        pickle_best = min(pickle_best, time.perf_counter() - started)
+
+    assert (json.dumps(shm_campaign.to_json()["campaign"], sort_keys=True)
+            == json.dumps(pickle_campaign.to_json()["campaign"],
+                          sort_keys=True))
+    ratio = pickle_best / shm_best
+    print(f"\nshm {shm_best:.3f}s, pickle {pickle_best:.3f}s, "
+          f"ratio {ratio:.2f}x over {2 * REPLICATES} trials of "
+          f"{TRIAL_DURATION:.0f}s simulated "
+          f"({REPLICATES // WORKERS} lanes/task, {WORKERS} workers)")
+    bound = pickle_best * (QUICK_TOLERANCE if BENCH_QUICK else 1.0)
+    assert shm_best <= bound, (
+        f"shared-memory path regressed: best {shm_best:.3f}s vs pickled "
+        f"best {pickle_best:.3f}s on the {REPLICATES}-lane Table I "
+        f"campaign")

@@ -2,17 +2,22 @@
 
 Declarative parameter sweeps (:mod:`repro.campaign.spec`), a process-pool
 executor with deterministic per-trial seeding
-(:mod:`repro.campaign.executor`), streaming aggregation into
-experiment-compatible summaries (:mod:`repro.campaign.aggregate`), a
-durable sqlite checkpoint store with crash/resume semantics
-(:mod:`repro.campaign.store`), the paper's experiments as reusable presets
-(:mod:`repro.campaign.presets`), and a CLI (``python -m repro.campaign``).
+(:mod:`repro.campaign.executor`), a shared-memory batch plane and
+zero-copy results ring for pooled runs (:mod:`repro.campaign.shm`),
+streaming aggregation into experiment-compatible summaries
+(:mod:`repro.campaign.aggregate`), a durable sqlite checkpoint store with
+crash/resume semantics (:mod:`repro.campaign.store`), the paper's
+experiments as reusable presets (:mod:`repro.campaign.presets`), and a
+CLI (``python -m repro.campaign``).
 """
 
-from repro.campaign.aggregate import CampaignResult, GroupSummary, TrialSummary
+from repro.campaign.aggregate import (SUMMARY_RECORD_FIELDS, CampaignResult,
+                                      GroupSummary, TrialSummary)
 from repro.campaign.executor import (default_worker_count, execute_batch,
-                                     execute_trial, resolve_batch_size,
-                                     run_campaign)
+                                     execute_trial, min_lockstep_lanes,
+                                     resolve_batch_size, run_campaign)
+from repro.campaign.shm import (ResultsRing, ShmError, ShmSession, StatePlane,
+                                shared_memory_available)
 from repro.campaign.presets import (PRESETS, Preset, grid_spec, loss_sweep_spec,
                                     scenarios_spec, table1_spec)
 from repro.campaign.spec import (CampaignSpec, ChannelSpec, SurgeonSpec, TrialRun,
@@ -25,8 +30,10 @@ __all__ = [
     "CampaignSpec", "TrialSpec", "TrialRun", "ChannelSpec", "SurgeonSpec",
     "expand_grid",
     "run_campaign", "execute_trial", "execute_batch", "resolve_batch_size",
-    "default_worker_count",
-    "CampaignResult", "GroupSummary", "TrialSummary",
+    "min_lockstep_lanes", "default_worker_count",
+    "CampaignResult", "GroupSummary", "TrialSummary", "SUMMARY_RECORD_FIELDS",
+    "ShmSession", "StatePlane", "ResultsRing", "ShmError",
+    "shared_memory_available",
     "CampaignStore", "CampaignStoreError", "CheckpointStatus",
     "RecoveryStage", "RecoveryStateMachine", "spec_fingerprint",
     "PRESETS", "Preset",

@@ -18,6 +18,39 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.casestudy.emulation import TrialResult
     from repro.campaign.spec import CampaignSpec, TrialRun, TrialSpec
 
+#: Fixed-width numeric encoding of a :class:`TrialSummary`: one ``(field,
+#: kind)`` pair per column, ``kind`` being ``"i"`` (int64), ``"f"``
+#: (float64) or ``"b"`` (bool stored as int64).  Every summary field except
+#: the display ``label`` (reconstructed from ``spec_index`` via the
+#: campaign spec) is covered, so a record round-trips bit-identically: the
+#: floats are already IEEE doubles and the counters fit comfortably in 64
+#: bits.  This is the schema of the shared-memory results ring
+#: (:mod:`repro.campaign.shm`) and of the checkpoint store's plain-column
+#: summary rows (:mod:`repro.campaign.store`).
+SUMMARY_RECORD_FIELDS = (
+    ("spec_index", "i"),
+    ("replicate", "i"),
+    ("seed", "i"),
+    ("with_lease", "b"),
+    ("mean_toff", "f"),
+    ("duration", "f"),
+    ("laser_emissions", "i"),
+    ("failures", "i"),
+    ("evt_to_stop", "i"),
+    ("ventilator_pauses", "i"),
+    ("max_emission_duration", "f"),
+    ("max_pause_duration", "f"),
+    ("min_spo2", "f"),
+    ("supervisor_aborts", "i"),
+    ("surgeon_requests", "i"),
+    ("surgeon_cancels", "i"),
+    ("observed_loss_ratio", "f"),
+)
+
+_RECORD_FIELD_NAMES = tuple(name for name, _ in SUMMARY_RECORD_FIELDS)
+_RECORD_BOOL_FIELDS = tuple(name for name, kind in SUMMARY_RECORD_FIELDS
+                            if kind == "b")
+
 
 @dataclass(frozen=True)
 class TrialSummary:
@@ -73,6 +106,57 @@ class TrialSummary:
             surgeon_cancels=result.surgeon_cancels,
             observed_loss_ratio=result.observed_loss_ratio,
         )
+
+    def to_record(self) -> Tuple[float, ...]:
+        """Encode as the fixed-width numeric tuple of ``SUMMARY_RECORD_FIELDS``."""
+        out = []
+        for name, kind in SUMMARY_RECORD_FIELDS:
+            value = getattr(self, name)
+            out.append(float(value) if kind == "f" else int(value))
+        return tuple(out)
+
+    @classmethod
+    def from_record(cls, record, label: str) -> "TrialSummary":
+        """Decode a ``SUMMARY_RECORD_FIELDS`` row back into a summary.
+
+        Accepts a plain sequence of Python numerics (a tuple from
+        :meth:`to_record`, a sqlite row, or an ``ndarray.tolist`` row) or
+        a NumPy structured record; every column comes back as its plain
+        Python type, so downstream ``asdict`` → ``json.dumps`` output is
+        byte-identical to the pickled path.
+
+        Args:
+            record: Numeric row ordered/keyed like ``SUMMARY_RECORD_FIELDS``.
+            label: The cell label (not stored in the record; comes from
+                ``spec.trials[spec_index].label``).
+
+        Returns:
+            The reconstructed summary.
+        """
+        if isinstance(record, (tuple, list)):
+            # Hot decode path (results ring, store replay): these sources
+            # already yield plain Python numerics (``ndarray.tolist``,
+            # sqlite rows, :meth:`to_record`), so only the bool columns
+            # need re-coercing.  Populating ``__dict__`` directly skips
+            # the frozen dataclass's per-field ``object.__setattr__``
+            # __init__ — the same construction path pickle uses.
+            summary = cls.__new__(cls)
+            values = summary.__dict__
+            values.update(zip(_RECORD_FIELD_NAMES, record))
+            values["label"] = label
+            for name in _RECORD_BOOL_FIELDS:
+                values[name] = bool(values[name])
+            return summary
+        values: Dict[str, object] = {"label": label}
+        for name, kind in SUMMARY_RECORD_FIELDS:
+            raw = record[name]
+            if kind == "f":
+                values[name] = float(raw)
+            elif kind == "b":
+                values[name] = bool(raw)
+            else:
+                values[name] = int(raw)
+        return cls(**values)
 
     @property
     def mode(self) -> str:

@@ -99,6 +99,17 @@ def build_parser() -> argparse.ArgumentParser:
                              "vectorized lockstep; 0 = auto heuristic "
                              "(default). Implies --engine batched when no "
                              "engine is chosen and B > 1")
+    parser.add_argument("--shm", action=argparse.BooleanOptionalAction,
+                        default=None,
+                        help="shared-memory fast path: batched lanes run on "
+                             "a parent-owned shared state plane (one cell's "
+                             "batch can span workers) and per-trial stats "
+                             "travel as fixed-width records in a shared "
+                             "results ring instead of pickles. Default: "
+                             "auto-on for multi-worker batched runs; "
+                             "--no-shm disables. Falls back to pickling "
+                             "when unavailable; results are bit-identical "
+                             "either way")
     parser.add_argument("--store", default=None, metavar="PATH",
                         help="durable sqlite checkpoint store: completed "
                              "replicate batches are committed as they "
@@ -229,7 +240,8 @@ def main(argv: Sequence[str] | None = None) -> int:
                                 payload=args.payload, engine=engine,
                                 batch_size=args.batch_size,
                                 on_result=progress,
-                                store=args.store, resume=args.resume)
+                                store=args.store, resume=args.resume,
+                                shm=args.shm)
     except CampaignStoreError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

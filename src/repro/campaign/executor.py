@@ -34,15 +34,18 @@ from __future__ import annotations
 import os
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
-from typing import Callable, List, Sequence, Tuple
+from typing import Callable, Dict, List, Sequence, Tuple
 
+from repro.campaign import shm as shm_plane
 from repro.campaign.aggregate import CampaignResult, TrialSummary
 from repro.campaign.spec import CampaignSpec, TrialRun
 from repro.campaign.store import (CampaignStore, CampaignStoreError,
                                   RecoveryStage, RecoveryStateMachine)
 from repro.casestudy.config import CaseStudyConfig
-from repro.casestudy.emulation import TrialResult, run_trial, run_trial_batch
+from repro.casestudy.emulation import (TrialResult, _lowered_case_study,
+                                       run_trial, run_trial_batch)
 from repro.hybrid.simulate import resolve_engine_kind
+from repro.hybrid.simulate.batched import build_batched_tables
 
 #: Payload modes, in increasing weight:
 #:
@@ -64,6 +67,22 @@ _INFLIGHT_PER_WORKER = 4
 #: Largest replicate batch the auto heuristic will put in lockstep; beyond
 #: this the vector win flattens while latency and memory keep growing.
 _MAX_AUTO_BATCH = 64
+
+#: Environment override for the lockstep break-even lane count.
+BATCH_MIN_LANES_ENV_VAR = "REPRO_BATCH_MIN_LANES"
+
+#: Below this many lanes the auto heuristic keeps per-trial dispatch even
+#: with the batched kernel: micro-calibration (``benchmarks/bench_batched``)
+#: shows the vectorized dispatch overhead dominating below ~16 lanes, so a
+#: small cell is faster on the scalar path inside each worker.  Explicit
+#: ``batch_size`` values are always honoured as given.
+DEFAULT_BATCH_MIN_LANES = 16
+
+#: Environment variable read by the worker-crash injection harness: a
+#: positive integer N makes a pool worker SIGKILL itself when it picks up
+#: its N-th batch task.  Used by the shared-memory crash-cleanup tests and
+#: the CI smoke (a hard-killed worker must not leak ``/dev/shm`` segments).
+CRASH_WORKER_ENV_VAR = "REPRO_CAMPAIGN_CRASH_WORKER"
 
 #: Campaign-level engine default.  Direct engine construction stays on the
 #: reference kernel (the executable specification); campaigns default to
@@ -91,8 +110,12 @@ def resolve_batch_size(batch_size: int | None, spec: CampaignSpec,
 
     ``None`` or ``0`` selects the auto heuristic: with the batched kernel,
     split each cell's replicates evenly across the workers (capped at
-    ``_MAX_AUTO_BATCH`` lanes — the vector win saturates); with the scalar
-    kernels there is nothing to put in lockstep, so dispatch per trial.
+    ``_MAX_AUTO_BATCH`` lanes — the vector win saturates), unless the split
+    lands below the lockstep break-even (``REPRO_BATCH_MIN_LANES``,
+    default ``DEFAULT_BATCH_MIN_LANES``), where the vector dispatch
+    overhead outweighs the win and per-trial dispatch is faster; with the
+    scalar kernels there is nothing to put in lockstep, so dispatch per
+    trial.
 
     Args:
         batch_size: The requested batch size (``None``/``0`` = auto).
@@ -104,7 +127,8 @@ def resolve_batch_size(batch_size: int | None, spec: CampaignSpec,
         The concrete batch size, at least 1.
 
     Raises:
-        ValueError: If an explicit ``batch_size`` is negative.
+        ValueError: If an explicit ``batch_size`` is negative, or the
+            ``REPRO_BATCH_MIN_LANES`` override is not a positive integer.
     """
     if batch_size:
         if batch_size < 1:
@@ -114,7 +138,25 @@ def resolve_batch_size(batch_size: int | None, spec: CampaignSpec,
         return 1
     largest_cell = max(t.effective_replicates for t in spec.trials)
     per_worker = -(-largest_cell // max(1, workers))  # ceil division
-    return max(1, min(_MAX_AUTO_BATCH, per_worker))
+    if per_worker < min_lockstep_lanes():
+        return 1
+    return min(_MAX_AUTO_BATCH, per_worker)
+
+
+def min_lockstep_lanes() -> int:
+    """The smallest lane count worth vectorized lockstep (env-overridable)."""
+    raw = os.environ.get(BATCH_MIN_LANES_ENV_VAR)
+    if raw is None or not raw.strip():
+        return DEFAULT_BATCH_MIN_LANES
+    try:
+        value = int(raw)
+    except ValueError:
+        value = 0
+    if value < 1:
+        raise ValueError(
+            f"{BATCH_MIN_LANES_ENV_VAR} must be a positive integer, "
+            f"got {raw!r}")
+    return value
 
 
 def execute_trial(config: CaseStudyConfig, campaign_duration: float | None,
@@ -154,7 +196,7 @@ def execute_trial(config: CaseStudyConfig, campaign_duration: float | None,
 
 
 def execute_batch(spec: CampaignSpec, task: _BatchTask, payload: str,
-                  engine: str,
+                  engine: str, buffers=None,
                   ) -> List[Tuple[int, TrialSummary, TrialResult | None]]:
     """Execute one batch of same-cell replicates (runs inside a worker).
 
@@ -169,6 +211,9 @@ def execute_batch(spec: CampaignSpec, task: _BatchTask, payload: str,
         task: The ``(spec_index, runs)`` batch to execute.
         payload: Per-trial payload kind (``"summary"``/``"stats"``/``"full"``).
         engine: The resolved simulation-kernel name.
+        buffers: Optional externally allocated engine storage (a
+            shared-memory plane's lane range) for the lockstep path;
+            ``None`` keeps private allocations.  Never changes results.
 
     Returns:
         One ``(index, summary, result-or-None)`` triple per trial of the
@@ -184,7 +229,8 @@ def execute_batch(spec: CampaignSpec, task: _BatchTask, payload: str,
             trial_config, with_lease=trial.with_lease, seeds=seeds,
             duration=duration, channel_builder=trial.channel.build,
             surgeon_builder=((lambda _seed: trial.surgeon.build())
-                             if trial.surgeon is not None else None))
+                             if trial.surgeon is not None else None),
+            buffers=buffers)
         out = []
         for (index, replicate, seed), result in zip(runs_lite, results):
             run = TrialRun(index=index, spec_index=spec_index,
@@ -206,10 +252,51 @@ def _init_worker(spec: CampaignSpec, payload: str, engine: str) -> None:
     _WORKER_CTX = (spec, payload, engine)
 
 
-def _execute_batch_in_worker(task: _BatchTask):
-    """Task entry point inside a pool worker (context from the initializer)."""
+#: Tasks this worker process has picked up (crash-injection bookkeeping).
+_WORKER_TASKS = 0
+
+
+def _maybe_crash_worker() -> None:
+    """SIGKILL this worker on its N-th task if the crash harness asks for it."""
+    global _WORKER_TASKS
+    raw = os.environ.get(CRASH_WORKER_ENV_VAR)
+    if not raw:
+        return
+    _WORKER_TASKS += 1
+    if _WORKER_TASKS >= int(raw):
+        import signal
+        os.kill(os.getpid(), signal.SIGKILL)
+
+
+def _execute_batch_in_worker(task: _BatchTask,
+                             token: "shm_plane.ShmToken | None" = None):
+    """Task entry point inside a pool worker (context from the initializer).
+
+    Without a token this is the classic pickled path: the full result
+    triples travel back through the pool's pipe.  With a token, the worker
+    binds the task's shared-plane lane range (if any) as the engine's
+    backing storage, writes each trial's summary record straight into the
+    shared results ring, and returns only the trial count — plus, for the
+    ``"stats"`` payload, the pickled ``TrialResult`` objects, whose
+    monitor reports and lease ledgers have no fixed-width encoding.
+    """
+    _maybe_crash_worker()
     spec, payload, engine = _WORKER_CTX
-    return execute_batch(spec, task, payload, engine)
+    if token is None:
+        return execute_batch(spec, task, payload, engine)
+    buffers = None
+    if token.plane_name is not None:
+        plane = shm_plane.attach_plane(token.plane_name, token.plane_lanes,
+                                       token.state_columns,
+                                       token.cross_columns)
+        buffers = plane.buffers(token.lane_start, token.lane_count)
+    results = execute_batch(spec, task, payload, engine, buffers=buffers)
+    ring = shm_plane.attach_ring(token.ring_name, token.ring_capacity)
+    for offset, (index, summary, _result) in enumerate(results):
+        ring.write(token.ring_start + offset, token.generation, index, summary)
+    if payload == "summary":
+        return len(results), None
+    return len(results), [result for _, _, result in results]
 
 
 def _chunk_runs(runs: Sequence[TrialRun], batch_size: int) -> List[_BatchTask]:
@@ -229,6 +316,33 @@ def _chunk_runs(runs: Sequence[TrialRun], batch_size: int) -> List[_BatchTask]:
     return tasks
 
 
+def _resolve_shm(shm: bool | None, engine: str, payload: str,
+                 pooled: bool) -> bool:
+    """Decide whether the shared-memory fast path runs.
+
+    ``None`` auto-enables for pooled batched runs; an explicit ``True``
+    extends it to scalar-engine pools (ring only).  Either way the path
+    silently degrades to pickling when ``shared_memory`` is unavailable,
+    the run is serial (nothing crosses a process boundary), or the payload
+    is ``"full"`` (traces have no fixed-width encoding).
+    """
+    if shm is False:
+        return False
+    if not (pooled and payload != "full"
+            and shm_plane.shared_memory_available()):
+        return False
+    return True if shm else engine == "batched"
+
+
+def _cell_plane_geometry(spec: CampaignSpec,
+                         spec_index: int) -> Tuple[int, int]:
+    """Column counts of one campaign cell's batched state plane."""
+    trial = spec.trials[spec_index]
+    config = trial.configure(spec.config)
+    _, lowered = _lowered_case_study(config, trial.with_lease)
+    return build_batched_tables(lowered).plane_columns()
+
+
 def run_campaign(spec: CampaignSpec, *, seed: int = 0, max_workers: int = 1,
                  payload: str = "summary",
                  engine: str | None = None,
@@ -236,6 +350,7 @@ def run_campaign(spec: CampaignSpec, *, seed: int = 0, max_workers: int = 1,
                  on_result: Callable[[TrialSummary], None] | None = None,
                  store: CampaignStore | str | os.PathLike | None = None,
                  resume: bool = False,
+                 shm: bool | None = None,
                  ) -> CampaignResult:
     """Run a whole campaign, serially or across worker processes.
 
@@ -274,6 +389,18 @@ def run_campaign(spec: CampaignSpec, *, seed: int = 0, max_workers: int = 1,
             of rejecting a non-empty store, then execute only the
             remainder.  Aggregates are bit-identical to an uninterrupted
             run for any engine, batch size and worker count.
+        shm: Shared-memory fast path: workers run batched lanes on a
+            parent-owned shared state plane (so one cell's batch spans
+            workers) and publish per-trial statistics as fixed-width
+            records in a shared results ring instead of pickling them
+            through the pool's pipe.  ``None`` (default) auto-enables it
+            for multi-worker batched runs; ``True`` forces it on wherever
+            possible (including scalar-engine pools, ring only);
+            ``False`` disables it.  The path silently falls back to
+            pickling when ``multiprocessing.shared_memory`` is
+            unavailable, the run is serial, or ``payload="full"`` — and
+            per task when the ring/plane is momentarily exhausted.
+            Results are bit-identical in every mode.
 
     Returns:
         The ordered, aggregated :class:`CampaignResult`.
@@ -301,6 +428,7 @@ def run_campaign(spec: CampaignSpec, *, seed: int = 0, max_workers: int = 1,
     else:
         store_obj = own_store = CampaignStore(store)
 
+    session: shm_plane.ShmSession | None = None
     try:
         live_runs: Sequence[TrialRun] = runs
         replayed_count = 0
@@ -325,6 +453,9 @@ def run_campaign(spec: CampaignSpec, *, seed: int = 0, max_workers: int = 1,
         tasks = _chunk_runs(live_runs, batch)
         started = time.perf_counter()
 
+        pooled = max_workers > 1 and len(tasks) > 1
+        use_shm = _resolve_shm(shm, resolved_engine, payload, pooled)
+
         def record(batch_results) -> None:
             # Durability before publication: once a result is visible to
             # the aggregates or the progress callback, it has survived.
@@ -336,31 +467,99 @@ def run_campaign(spec: CampaignSpec, *, seed: int = 0, max_workers: int = 1,
                 if on_result is not None:
                     on_result(summary)
 
+        def record_shm(task: _BatchTask, ticket, outcome) -> None:
+            # Shared-memory counterpart: decode the task's ring records in
+            # place, commit them (straight from the ring for "summary"),
+            # publish, then recycle the reservation.
+            spec_index, runs_lite = task
+            count, results = outcome
+            label = spec.trials[spec_index].label
+            labels = [label] * count
+            block = session.records_view(ticket, count)
+            decoded = session.read(ticket, count, labels)
+            expected = [index for index, _, _ in runs_lite]
+            if block["trial_index"].tolist() != expected:
+                raise shm_plane.ShmError(
+                    f"results-ring records for cell {spec_index} carry trial "
+                    f"indices {block['trial_index'].tolist()}, expected "
+                    f"{expected}")
+            if store_obj is not None:
+                if results is None:
+                    store_obj.checkpoint_ring(block, labels)
+                else:
+                    store_obj.checkpoint_batch(
+                        list(zip(expected, decoded, results)))
+            for offset, (index, summary) in enumerate(zip(expected, decoded)):
+                summaries[index] = summary
+                full[index] = results[offset] if results is not None else None
+                if on_result is not None:
+                    on_result(summary)
+            session.release(ticket, count)
+
         if tasks:
             recovery.advance(RecoveryStage.LIVE)
-        if max_workers == 1 or len(tasks) <= 1:
+        if not pooled:
             for task in tasks:
                 record(execute_batch(spec, task, payload, resolved_engine))
         else:
             workers = min(max_workers, len(tasks))
             window = workers * _INFLIGHT_PER_WORKER
+            if use_shm:
+                ring_capacity = max(batch, min(len(live_runs),
+                                               (window + 1) * batch))
+                session = shm_plane.ShmSession(ring_capacity)
+                cell_live: Dict[int, int] = {}
+                for spec_index, runs_lite in tasks:
+                    cell_live[spec_index] = (cell_live.get(spec_index, 0)
+                                             + len(runs_lite))
+
+            def submit(pool, task):
+                ticket = token = None
+                if session is not None:
+                    spec_index, runs_lite = task
+                    count = len(runs_lite)
+                    want_plane = (resolved_engine == "batched" and count > 1
+                                  and payload != "full")
+                    if want_plane and session.plane(spec_index) is None:
+                        state_cols, cross_cols = _cell_plane_geometry(
+                            spec, spec_index)
+                        lanes = max(count, min(cell_live[spec_index],
+                                               (window + 1) * batch))
+                        session.ensure_plane(spec_index, lanes, state_cols,
+                                             cross_cols)
+                    ticket = session.acquire(spec_index, count, want_plane)
+                    if ticket is not None:
+                        token = ticket.token(session)
+                future = pool.submit(_execute_batch_in_worker, task, token)
+                inflight[future] = (task, ticket)
+                return future
+
+            def retire(future) -> None:
+                task, ticket = inflight.pop(future)
+                outcome = future.result()
+                if ticket is None:
+                    record(outcome)
+                else:
+                    record_shm(task, ticket, outcome)
+
             with ProcessPoolExecutor(max_workers=workers,
                                      initializer=_init_worker,
                                      initargs=(spec, payload, resolved_engine),
                                      ) as pool:
+                inflight: Dict[object, Tuple[_BatchTask, object]] = {}
                 pending = set()
                 queue = iter(tasks)
                 for task in queue:
-                    pending.add(pool.submit(_execute_batch_in_worker, task))
+                    pending.add(submit(pool, task))
                     if len(pending) < window:
                         continue
                     done, pending = wait(pending, return_when=FIRST_COMPLETED)
                     for future in done:
-                        record(future.result())
+                        retire(future)
                 while pending:
                     done, pending = wait(pending, return_when=FIRST_COMPLETED)
                     for future in done:
-                        record(future.result())
+                        retire(future)
 
         wall_time = time.perf_counter() - started
         if any(s is None for s in summaries):
@@ -370,6 +569,10 @@ def run_campaign(spec: CampaignSpec, *, seed: int = 0, max_workers: int = 1,
             store_obj.mark_complete()
         recovery.advance(RecoveryStage.COMPLETE)
     finally:
+        # Unlink shared segments even on a crashed/broken pool — the
+        # session owns them and nothing else will.
+        if session is not None:
+            session.close()
         if own_store is not None:
             own_store.close()
 

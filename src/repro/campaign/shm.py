@@ -1,0 +1,617 @@
+"""Shared-memory batch plane and zero-copy results ring for campaigns.
+
+This module is the allocation layer of the campaign's shared-memory fast
+path.  Two kinds of segments exist, both plain
+:mod:`multiprocessing.shared_memory` blocks wrapped with a small layout
+descriptor:
+
+* **State planes** (:class:`StatePlane`) — one per campaign cell, holding
+  the batched kernel's global ``(lanes, state_columns)`` state/rate/driven
+  matrices and ``(lanes, cross_columns)`` crossing tables.  The parent
+  allocates the plane, hands each worker a *lane range* of it (via
+  :meth:`StatePlane.buffers`, which yields the
+  :class:`~repro.hybrid.simulate.batched.ExternalBatchBuffers` row view
+  the engine binds to), and thereby lets one cell's batch span several
+  workers instead of being trapped inside one.
+* **The results ring** (:class:`ResultsRing`) — a single array of
+  fixed-width numeric records (the
+  :data:`~repro.campaign.aggregate.SUMMARY_RECORD_FIELDS` columns plus a
+  trial index and a generation stamp).  Workers write one record per
+  finished trial straight into their task's slot range; the parent and
+  the sqlite store read the records in place, so the executor's result
+  pipe only ever carries tiny ``(cell, lane-range, generation)`` tokens.
+
+Ownership is strictly parent-side: the process that *creates* a segment
+is the only one that ever unlinks it (enforced with an ``atexit`` hook so
+crashes don't leak ``/dev/shm`` entries), while workers attach without
+registering with the resource tracker (otherwise every forked worker
+would try to clean up — or double-free — the parent's segments on exit).
+Validity of ring records is established by the pipe token (happens-before
+via the pool's result future) and double-checked against the generation
+stamp; a mismatch means memory corruption or a protocol bug and raises
+:class:`ShmError` rather than silently aggregating garbage.
+
+Segment names carry the ``repro-`` prefix so tests and the CI
+crash-cleanup smoke can scan ``/dev/shm`` for leaks.
+"""
+
+from __future__ import annotations
+
+import atexit
+import operator
+import os
+import secrets
+from typing import Dict, List, Optional, Sequence, Tuple
+
+try:  # pragma: no cover - numpy is a hard dep of the batched tier anyway
+    import numpy as np
+except ImportError:  # pragma: no cover
+    np = None
+
+try:  # pragma: no cover - absent on exotic/embedded builds
+    from multiprocessing import resource_tracker, shared_memory
+except ImportError:  # pragma: no cover
+    resource_tracker = None
+    shared_memory = None
+
+from repro.campaign.aggregate import SUMMARY_RECORD_FIELDS, TrialSummary
+from repro.hybrid.simulate.batched import ExternalBatchBuffers
+
+#: Name prefix of every segment this module creates (leak-scan anchor).
+SEGMENT_PREFIX = "repro-"
+
+#: Pulls a summary's record columns as one tuple; numpy coerces the
+#: values during the structured-scalar assignment, so this skips the
+#: per-field Python conversions of :meth:`TrialSummary.to_record` on the
+#: ring's hot write path.
+_SUMMARY_GETTER = operator.attrgetter(
+    *(name for name, _ in SUMMARY_RECORD_FIELDS))
+
+
+class ShmError(RuntimeError):
+    """A shared-memory protocol violation (stale generation, bad layout)."""
+
+
+def shared_memory_available() -> bool:
+    """Whether the zero-copy path can run on this interpreter/platform."""
+    return shared_memory is not None and np is not None
+
+
+def summary_record_dtype() -> "np.dtype":
+    """Structured dtype of one results-ring record.
+
+    ``trial_index`` identifies the trial, ``generation`` stamps which
+    allocation of the slot wrote it (guards against stale reads after a
+    slot range is recycled); the remaining columns are exactly
+    :data:`~repro.campaign.aggregate.SUMMARY_RECORD_FIELDS`.
+    """
+    fields = [("trial_index", "i8"), ("generation", "i8")]
+    fields.extend((name, "f8" if kind == "f" else "i8")
+                  for name, kind in SUMMARY_RECORD_FIELDS)
+    return np.dtype(fields)
+
+
+# ---------------------------------------------------------------------------
+# Raw segment wrapper
+# ---------------------------------------------------------------------------
+
+def _attach_segment(name: str) -> "shared_memory.SharedMemory":
+    """Attach to an existing segment without resource-tracker registration.
+
+    Workers must not register the parent's segments: the tracker would
+    either warn about or unlink them when the worker exits, racing the
+    owner.  Python 3.13+ exposes ``track=False``; older versions need the
+    well-known unregister workaround.
+    """
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:  # Python < 3.13: no ``track`` parameter
+        # Suppress (rather than undo) the registration: forked workers
+        # share the parent's tracker process, so an unregister here would
+        # erase the owner's registration and make the owner's eventual
+        # unlink trip a KeyError inside the tracker.
+        original = resource_tracker.register
+        resource_tracker.register = lambda *args, **kwargs: None
+        try:
+            return shared_memory.SharedMemory(name=name)
+        finally:
+            resource_tracker.register = original
+
+
+class SharedSegment:
+    """One shared-memory block with owner-side lifetime management.
+
+    The owner (creator) registers an ``atexit`` unlink so a crashed parent
+    never leaks ``/dev/shm`` entries; attachers only ever ``close()``.
+    """
+
+    def __init__(self, seg: "shared_memory.SharedMemory", owner: bool):
+        self._seg = seg
+        self.owner = owner
+        self.name = seg.name
+        self._closed = False
+        self._owner_pid = os.getpid() if owner else None
+        if owner:
+            atexit.register(self.destroy)
+
+    @classmethod
+    def create(cls, size: int) -> "SharedSegment":
+        """Create (and own) a fresh segment of ``size`` bytes."""
+        for _ in range(8):
+            name = SEGMENT_PREFIX + secrets.token_hex(6)
+            try:
+                seg = shared_memory.SharedMemory(name=name, create=True,
+                                                 size=size)
+            except FileExistsError:  # pragma: no cover - 48-bit collision
+                continue
+            return cls(seg, owner=True)
+        raise ShmError("could not find a free shared-memory name")
+
+    @classmethod
+    def attach(cls, name: str) -> "SharedSegment":
+        """Attach (without owning) an existing segment by name."""
+        return cls(_attach_segment(name), owner=False)
+
+    @property
+    def buf(self) -> memoryview:
+        return self._seg.buf
+
+    def close(self) -> None:
+        """Unmap the segment (caller must have dropped all array views)."""
+        if not self._closed:
+            self._closed = True
+            self._seg.close()
+
+    def destroy(self) -> None:
+        """Close and, if owner, unlink.  Idempotent and atexit-safe.
+
+        A forked child inheriting the owner object must never unlink the
+        parent's segment, hence the owning-pid check.
+        """
+        self.close()
+        if self.owner and os.getpid() == self._owner_pid:
+            self.owner = False
+            atexit.unregister(self.destroy)
+            try:
+                self._seg.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+
+
+# ---------------------------------------------------------------------------
+# Results ring
+# ---------------------------------------------------------------------------
+
+class ResultsRing:
+    """Fixed-capacity array of summary records shared between processes.
+
+    Not a lock-free queue: slot ranges are allocated by the parent before
+    a task is submitted and the worker's completed future is the
+    happens-before edge, so readers and the writer of a slot never race.
+    The generation stamp is a belt-and-braces consistency check.
+    """
+
+    def __init__(self, segment: SharedSegment, capacity: int):
+        self.segment = segment
+        self.capacity = capacity
+        self.records = np.ndarray((capacity,), dtype=summary_record_dtype(),
+                                  buffer=segment.buf)
+
+    @classmethod
+    def create(cls, capacity: int) -> "ResultsRing":
+        ring = cls(SharedSegment.create(capacity
+                                        * summary_record_dtype().itemsize),
+                   capacity)
+        ring.records["generation"] = -1
+        return ring
+
+    @classmethod
+    def attach(cls, name: str, capacity: int) -> "ResultsRing":
+        return cls(SharedSegment.attach(name), capacity)
+
+    def write(self, slot: int, generation: int,
+              trial_index: int, summary: TrialSummary) -> None:
+        """Publish one trial's summary into ``slot``."""
+        # One structured-scalar assignment: numpy unpacks the tuple into
+        # the record's fields in declaration order, which is exactly
+        # (trial_index, generation) + SUMMARY_RECORD_FIELDS.
+        self.records[slot] = (trial_index, generation) + _SUMMARY_GETTER(summary)
+
+    def read(self, start: int, count: int, generation: int,
+             labels: Sequence[str]) -> List[TrialSummary]:
+        """Decode ``count`` records starting at ``start``, validating stamps.
+
+        Args:
+            start: First ring slot of the task's range.
+            count: Number of records to read.
+            generation: The generation the task was issued with.
+            labels: Per-record cell labels (``spec.trials[i].label``),
+                aligned with the slots.
+
+        Returns:
+            The decoded summaries, in slot order.
+
+        Raises:
+            ShmError: If any record's generation stamp does not match —
+                i.e. the happens-before protocol was violated.
+        """
+        block = self.records[start:start + count]
+        if not (block["generation"] == generation).all():
+            raise ShmError(
+                f"stale results-ring records in [{start}, {start + count}): "
+                f"expected generation {generation}, "
+                f"found {sorted(set(block['generation'].tolist()))}")
+        # tolist() converts the whole block to plain Python scalars in one
+        # C-level pass; [2:] drops the (trial_index, generation) prefix.
+        return [TrialSummary.from_record(row[2:], label)
+                for row, label in zip(block.tolist(), labels)]
+
+    def close(self) -> None:
+        self.records = None  # drop the view before unmapping
+        self.segment.close()
+
+    def destroy(self) -> None:
+        self.records = None
+        self.segment.destroy()
+
+
+# ---------------------------------------------------------------------------
+# State planes
+# ---------------------------------------------------------------------------
+
+#: Array order inside a plane segment: all 8-byte dtypes first, then the
+#: bool tables, so every array is naturally aligned without padding.
+_PLANE_ORDER: Tuple[Tuple[str, str, str], ...] = (
+    ("X", "f8", "state"),
+    ("R", "f8", "state"),
+    ("C_col", "intp", "cross"),
+    ("C_thr", "f8", "cross"),
+    ("C_rate", "f8", "cross"),
+    ("C_sign", "f8", "cross"),
+    ("C_sthr", "f8", "cross"),
+    ("D", "?", "state"),
+    ("C_strict", "?", "cross"),
+    ("C_eq", "?", "cross"),
+    ("C_want", "?", "cross"),
+)
+
+
+def plane_layout(lanes: int, state_columns: int,
+                 cross_columns: int) -> Tuple[int, Dict[str, Tuple[int, Tuple[int, int], "np.dtype"]]]:
+    """Byte layout of one state-plane segment.
+
+    Returns:
+        ``(total_size, {array: (offset, shape, dtype)})`` for the eleven
+        engine tables of an ``ExternalBatchBuffers`` set.
+    """
+    layout: Dict[str, Tuple[int, Tuple[int, int], "np.dtype"]] = {}
+    offset = 0
+    for name, dtype_code, kind in _PLANE_ORDER:
+        dtype = np.dtype(dtype_code)
+        shape = (lanes, state_columns if kind == "state" else cross_columns)
+        layout[name] = (offset, shape, dtype)
+        offset += shape[0] * shape[1] * dtype.itemsize
+    return max(offset, 1), layout
+
+
+class StatePlane:
+    """One campaign cell's shared batch-state arena.
+
+    Holds full-width engine tables for up to ``lanes`` concurrent lanes of
+    one model geometry; workers bind disjoint row ranges of it.
+    """
+
+    def __init__(self, segment: SharedSegment, lanes: int,
+                 state_columns: int, cross_columns: int):
+        self.segment = segment
+        self.lanes = lanes
+        self.state_columns = state_columns
+        self.cross_columns = cross_columns
+        size, layout = plane_layout(lanes, state_columns, cross_columns)
+        if len(segment.buf) < size:
+            raise ShmError(
+                f"plane segment {segment.name!r} is {len(segment.buf)} bytes,"
+                f" need {size} for {lanes}x({state_columns},{cross_columns})")
+        self._arrays = {
+            name: np.ndarray(shape, dtype=dtype, buffer=segment.buf,
+                             offset=offset)
+            for name, (offset, shape, dtype) in layout.items()}
+
+    @classmethod
+    def create(cls, lanes: int, state_columns: int,
+               cross_columns: int) -> "StatePlane":
+        size, _ = plane_layout(lanes, state_columns, cross_columns)
+        return cls(SharedSegment.create(size), lanes, state_columns,
+                   cross_columns)
+
+    @classmethod
+    def attach(cls, name: str, lanes: int, state_columns: int,
+               cross_columns: int) -> "StatePlane":
+        return cls(SharedSegment.attach(name), lanes, state_columns,
+                   cross_columns)
+
+    def buffers(self, start: int, count: int) -> ExternalBatchBuffers:
+        """The engine-facing row view of lanes ``[start, start + count)``."""
+        if start < 0 or start + count > self.lanes:
+            raise ShmError(f"lane range [{start}, {start + count}) outside "
+                           f"plane of {self.lanes} lanes")
+        sl = slice(start, start + count)
+        return ExternalBatchBuffers(
+            **{name: arr[sl] for name, arr in self._arrays.items()})
+
+    def close(self) -> None:
+        self._arrays = {}  # drop views before unmapping
+        self.segment.close()
+
+    def destroy(self) -> None:
+        self._arrays = {}
+        self.segment.destroy()
+
+
+# ---------------------------------------------------------------------------
+# Range allocation
+# ---------------------------------------------------------------------------
+
+class _RangeAllocator:
+    """First-fit allocator of contiguous ranges over ``[0, capacity)``.
+
+    The executor's in-flight window bounds live ranges, so the free list
+    stays tiny; freed neighbours are merged to keep ranges contiguous.
+    """
+
+    def __init__(self, capacity: int):
+        self.capacity = capacity
+        self._free: List[Tuple[int, int]] = [(0, capacity)]
+
+    def allocate(self, count: int) -> Optional[int]:
+        """Reserve ``count`` contiguous slots; ``None`` when fragmented/full."""
+        if count <= 0:
+            raise ValueError("count must be positive")
+        for i, (start, length) in enumerate(self._free):
+            if length >= count:
+                if length == count:
+                    del self._free[i]
+                else:
+                    self._free[i] = (start + count, length - count)
+                return start
+        return None
+
+    def free(self, start: int, count: int) -> None:
+        """Return a previously allocated range, merging with neighbours."""
+        i = 0
+        while i < len(self._free) and self._free[i][0] < start:
+            i += 1
+        self._free.insert(i, (start, count))
+        # merge with right then left neighbour
+        if i + 1 < len(self._free):
+            s, c = self._free[i]
+            ns, nc = self._free[i + 1]
+            if s + c == ns:
+                self._free[i] = (s, c + nc)
+                del self._free[i + 1]
+        if i > 0:
+            ps, pc = self._free[i - 1]
+            s, c = self._free[i]
+            if ps + pc == s:
+                self._free[i - 1] = (ps, pc + c)
+                del self._free[i]
+
+
+# ---------------------------------------------------------------------------
+# Parent-side session
+# ---------------------------------------------------------------------------
+
+class PlaneTicket:
+    """One task's reservation on the shared plane + ring (parent-side)."""
+
+    __slots__ = ("spec_index", "lane_start", "lane_count", "ring_start",
+                 "generation")
+
+    def __init__(self, spec_index: int, lane_start: int, lane_count: int,
+                 ring_start: int, generation: int):
+        self.spec_index = spec_index
+        self.lane_start = lane_start
+        self.lane_count = lane_count
+        self.ring_start = ring_start
+        self.generation = generation
+
+    def token(self, session: "ShmSession") -> "ShmToken":
+        """The picklable worker-facing handle for this reservation."""
+        plane = session.plane(self.spec_index)
+        return ShmToken(
+            ring_name=session.ring.segment.name,
+            ring_capacity=session.ring.capacity,
+            ring_start=self.ring_start,
+            generation=self.generation,
+            plane_name=plane.segment.name if plane is not None else None,
+            plane_lanes=plane.lanes if plane is not None else 0,
+            state_columns=plane.state_columns if plane is not None else 0,
+            cross_columns=plane.cross_columns if plane is not None else 0,
+            lane_start=self.lane_start,
+            lane_count=self.lane_count,
+        )
+
+
+class ShmToken:
+    """What actually travels down the pool's pipe for an shm task.
+
+    A few integers and two segment names — the ``(cell, lane-range,
+    generation)`` token of the zero-copy protocol.  ``plane_name`` is
+    ``None`` for ring-only tasks (scalar engines still benefit from the
+    zero-copy results path even without a state plane).
+    """
+
+    __slots__ = ("ring_name", "ring_capacity", "ring_start", "generation",
+                 "plane_name", "plane_lanes", "state_columns",
+                 "cross_columns", "lane_start", "lane_count")
+
+    def __init__(self, *, ring_name: str, ring_capacity: int, ring_start: int,
+                 generation: int, plane_name: Optional[str], plane_lanes: int,
+                 state_columns: int, cross_columns: int, lane_start: int,
+                 lane_count: int):
+        self.ring_name = ring_name
+        self.ring_capacity = ring_capacity
+        self.ring_start = ring_start
+        self.generation = generation
+        self.plane_name = plane_name
+        self.plane_lanes = plane_lanes
+        self.state_columns = state_columns
+        self.cross_columns = cross_columns
+        self.lane_start = lane_start
+        self.lane_count = lane_count
+
+    def __reduce__(self):
+        return (_rebuild_token, (self.ring_name, self.ring_capacity,
+                                 self.ring_start, self.generation,
+                                 self.plane_name, self.plane_lanes,
+                                 self.state_columns, self.cross_columns,
+                                 self.lane_start, self.lane_count))
+
+
+def _rebuild_token(ring_name, ring_capacity, ring_start, generation,
+                   plane_name, plane_lanes, state_columns, cross_columns,
+                   lane_start, lane_count) -> ShmToken:
+    return ShmToken(ring_name=ring_name, ring_capacity=ring_capacity,
+                    ring_start=ring_start, generation=generation,
+                    plane_name=plane_name, plane_lanes=plane_lanes,
+                    state_columns=state_columns, cross_columns=cross_columns,
+                    lane_start=lane_start, lane_count=lane_count)
+
+
+class ShmSession:
+    """Parent-side owner of one campaign run's shared segments.
+
+    Creates the results ring eagerly and one state plane per campaign
+    cell lazily (cells differ in geometry when their models differ).
+    Capacities are bounded by the executor's in-flight window, not by the
+    campaign size, so a million-trial campaign still only maps a few
+    hundred kilobytes.  ``close()`` (or the atexit hook each segment
+    registers) unlinks everything.
+    """
+
+    def __init__(self, ring_capacity: int):
+        if not shared_memory_available():  # pragma: no cover - gated earlier
+            raise ShmError("multiprocessing.shared_memory is unavailable")
+        self.ring = ResultsRing.create(ring_capacity)
+        self._ring_alloc = _RangeAllocator(ring_capacity)
+        self._planes: Dict[int, Tuple[StatePlane, _RangeAllocator]] = {}
+        self._generation = 0
+        self._closed = False
+
+    def plane(self, spec_index: int) -> Optional[StatePlane]:
+        entry = self._planes.get(spec_index)
+        return entry[0] if entry is not None else None
+
+    def ensure_plane(self, spec_index: int, lanes: int, state_columns: int,
+                     cross_columns: int) -> StatePlane:
+        """Create (idempotently) the cell's plane sized for ``lanes`` lanes."""
+        entry = self._planes.get(spec_index)
+        if entry is None:
+            plane = StatePlane.create(lanes, state_columns, cross_columns)
+            entry = (plane, _RangeAllocator(lanes))
+            self._planes[spec_index] = entry
+        return entry[0]
+
+    def acquire(self, spec_index: int, count: int,
+                want_plane: bool) -> Optional[PlaneTicket]:
+        """Reserve ring slots (and plane lanes) for one ``count``-trial task.
+
+        Returns:
+            The reservation, or ``None`` when the ring or plane cannot fit
+            the task right now — the caller then falls back to the pickled
+            path for this task (never blocks, never errors).
+        """
+        ring_start = self._ring_alloc.allocate(count)
+        if ring_start is None:
+            return None
+        lane_start = 0
+        if want_plane:
+            entry = self._planes.get(spec_index)
+            if entry is None:
+                self._ring_alloc.free(ring_start, count)
+                raise ShmError(f"no plane registered for cell {spec_index}")
+            lane_start = entry[1].allocate(count)
+            if lane_start is None:
+                self._ring_alloc.free(ring_start, count)
+                return None
+        self._generation += 1
+        return PlaneTicket(spec_index if want_plane else -1, lane_start,
+                           count if want_plane else 0, ring_start,
+                           self._generation)
+
+    def release(self, ticket: PlaneTicket, count: int) -> None:
+        """Return a ticket's reservations after its records were consumed."""
+        self._ring_alloc.free(ticket.ring_start, count)
+        if ticket.lane_count:
+            self._planes[ticket.spec_index][1].free(ticket.lane_start,
+                                                    ticket.lane_count)
+
+    def read(self, ticket: PlaneTicket, count: int,
+             labels: Sequence[str]) -> List[TrialSummary]:
+        """Decode one completed task's records from the ring."""
+        return self.ring.read(ticket.ring_start, count, ticket.generation,
+                              labels)
+
+    def records_view(self, ticket: PlaneTicket, count: int) -> "np.ndarray":
+        """The raw structured-record block of a completed task (no copy)."""
+        return self.ring.records[ticket.ring_start:ticket.ring_start + count]
+
+    def close(self) -> None:
+        """Unlink every segment this session owns.  Idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        self.ring.destroy()
+        for plane, _ in self._planes.values():
+            plane.destroy()
+        self._planes = {}
+
+
+# ---------------------------------------------------------------------------
+# Worker-side attachment cache
+# ---------------------------------------------------------------------------
+
+_ATTACHED_RINGS: Dict[str, ResultsRing] = {}
+_ATTACHED_PLANES: Dict[str, StatePlane] = {}
+
+
+def attach_ring(name: str, capacity: int) -> ResultsRing:
+    """Attach (once per worker process) to the parent's results ring."""
+    ring = _ATTACHED_RINGS.get(name)
+    if ring is None:
+        ring = ResultsRing.attach(name, capacity)
+        _ATTACHED_RINGS[name] = ring
+    return ring
+
+
+def attach_plane(name: str, lanes: int, state_columns: int,
+                 cross_columns: int) -> StatePlane:
+    """Attach (once per worker process) to one cell's state plane."""
+    plane = _ATTACHED_PLANES.get(name)
+    if plane is None:
+        plane = StatePlane.attach(name, lanes, state_columns, cross_columns)
+        _ATTACHED_PLANES[name] = plane
+    return plane
+
+
+def detach_all() -> None:
+    """Drop every cached worker-side attachment (tests / pool teardown)."""
+    for ring in _ATTACHED_RINGS.values():
+        ring.close()
+    for plane in _ATTACHED_PLANES.values():
+        plane.close()
+    _ATTACHED_RINGS.clear()
+    _ATTACHED_PLANES.clear()
+
+
+def leaked_segments() -> List[str]:
+    """Names of ``repro-`` segments currently present in ``/dev/shm``.
+
+    Linux-only diagnostic used by the crash-cleanup tests and the CI
+    smoke; returns an empty list where ``/dev/shm`` does not exist.
+    """
+    try:
+        entries = os.listdir("/dev/shm")
+    except OSError:  # pragma: no cover - non-Linux
+        return []
+    return sorted(e for e in entries if e.startswith(SEGMENT_PREFIX))

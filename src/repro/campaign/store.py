@@ -60,15 +60,27 @@ import pickle
 import sqlite3
 from typing import TYPE_CHECKING, List, Optional, Tuple
 
-from repro.campaign.aggregate import TrialSummary
+from repro.campaign.aggregate import SUMMARY_RECORD_FIELDS, TrialSummary
 
 if TYPE_CHECKING:  # pragma: no cover - typing-only imports
+    import numpy as np
     from repro.campaign.spec import CampaignSpec
     from repro.casestudy.emulation import TrialResult
 
 #: Version stamp of the sqlite layout; bumped on incompatible changes so a
 #: newer library refuses an older store loudly instead of misreading it.
-SCHEMA_VERSION = 1
+#: Version 2 replaced the JSON-encoded summary column with one plain
+#: numeric column per :data:`~repro.campaign.aggregate.SUMMARY_RECORD_FIELDS`
+#: field (plus ``label``), eliminating the double-encode on the hot path
+#: and letting the shared results ring feed commits directly.
+SCHEMA_VERSION = 2
+
+#: sqlite column type per record-field kind (REAL round-trips IEEE doubles
+#: exactly, so numeric columns lose nothing over the old JSON encoding).
+_SQL_TYPE = {"i": "INTEGER", "b": "INTEGER", "f": "REAL"}
+
+#: The summary columns of the ``trials`` table, in record order.
+_SUMMARY_COLUMNS = tuple(name for name, _ in SUMMARY_RECORD_FIELDS)
 
 #: Environment variable read by the crash-injection harness: a positive
 #: integer N makes the process ``os._exit(CRASH_EXIT_CODE)`` right after
@@ -243,11 +255,13 @@ class CampaignStore:
 
     One store file holds one campaign: identity metadata (spec fingerprint,
     master seed, payload mode, expected trial count) plus one row per
-    completed trial — its position, seed, the JSON-encoded
-    :class:`~repro.campaign.aggregate.TrialSummary`, and (for the
-    ``"stats"`` / ``"full"`` payloads) the pickled ``TrialResult``.  The
-    executor commits one transaction per retired batch, so after a crash
-    the store holds exactly the batches that completed.
+    completed trial — its position, label, one plain numeric column per
+    :class:`~repro.campaign.aggregate.TrialSummary` field (the
+    :data:`~repro.campaign.aggregate.SUMMARY_RECORD_FIELDS` layout), and
+    only for the ``"stats"`` / ``"full"`` payloads a pickled
+    ``TrialResult`` blob.  The executor commits one transaction per
+    retired batch, so after a crash the store holds exactly the batches
+    that completed.
 
     Typical lifecycle (driven by ``run_campaign``)::
 
@@ -268,6 +282,9 @@ class CampaignStore:
         """
         self.path = os.fspath(path)
         self._conn = sqlite3.connect(self.path)
+        summary_cols = ", ".join(
+            f"{name} {_SQL_TYPE[kind]} NOT NULL"
+            for name, kind in SUMMARY_RECORD_FIELDS)
         with self._conn:
             self._conn.execute(
                 "CREATE TABLE IF NOT EXISTS meta ("
@@ -275,10 +292,8 @@ class CampaignStore:
             self._conn.execute(
                 "CREATE TABLE IF NOT EXISTS trials ("
                 " trial_index INTEGER PRIMARY KEY,"
-                " spec_index INTEGER NOT NULL,"
-                " replicate INTEGER NOT NULL,"
-                " seed INTEGER NOT NULL,"
-                " summary TEXT NOT NULL,"
+                " label TEXT NOT NULL,"
+                f" {summary_cols},"
                 " result BLOB)")
         self._commits = 0
         crash_after = os.environ.get(CRASH_ENV_VAR)
@@ -408,14 +423,16 @@ class CampaignStore:
             index; ``result`` is ``None`` for rows checkpointed without a
             full-result blob (the ``"summary"`` payload).
         """
+        columns = ", ".join(_SUMMARY_COLUMNS)
         rows = self._conn.execute(
-            "SELECT trial_index, summary, result FROM trials "
+            f"SELECT trial_index, label, {columns}, result FROM trials "
             "ORDER BY trial_index").fetchall()
         records: List[CheckpointRecord] = []
-        for index, summary_json, result_blob in rows:
-            summary = TrialSummary(**json.loads(summary_json))
-            result = pickle.loads(result_blob) if result_blob is not None else None
-            records.append((int(index), summary, result))
+        for row in rows:
+            summary = TrialSummary.from_record(row[2:-1], label=row[1])
+            blob = row[-1]
+            result = pickle.loads(blob) if blob is not None else None
+            records.append((int(row[0]), summary, result))
         return records
 
     def checkpoint_batch(self, results: List[CheckpointRecord]) -> None:
@@ -433,14 +450,40 @@ class CampaignStore:
         for index, summary, result in results:
             blob = (sqlite3.Binary(pickle.dumps(result))
                     if result is not None else None)
-            rows.append((int(index), summary.spec_index, summary.replicate,
-                         summary.seed, json.dumps(dataclasses.asdict(summary)),
-                         blob))
+            rows.append((int(index), summary.label) + summary.to_record()
+                        + (blob,))
+        self._insert_rows(rows)
+
+    def checkpoint_ring(self, records: "np.ndarray",
+                        labels: List[str]) -> None:
+        """Durably commit one retired batch straight from the results ring.
+
+        The zero-copy counterpart of :meth:`checkpoint_batch`: ``records``
+        is the task's structured-record block of the shared results ring
+        (see :func:`repro.campaign.shm.summary_record_dtype`), read in
+        place — no :class:`TrialSummary` objects, JSON, or pickling on the
+        commit path.  Only valid for the ``"summary"`` payload (the ring
+        carries no full-result blob).
+
+        Args:
+            records: The task's record block, already generation-validated.
+            labels: Per-record cell labels, aligned with ``records``.
+        """
+        # One C-level pass converts the whole block to Python scalars;
+        # [2:] drops the generation stamp ([0] is the trial index).
+        rows = [(row[0], label) + tuple(row[2:]) + (None,)
+                for row, label in zip(records.tolist(), labels)]
+        self._insert_rows(rows)
+
+    def _insert_rows(self, rows: List[tuple]) -> None:
+        """Commit prepared trial rows atomically, then run the crash hook."""
+        columns = ", ".join(_SUMMARY_COLUMNS)
+        placeholders = ", ".join("?" * (len(_SUMMARY_COLUMNS) + 3))
         with self._conn:
             self._conn.executemany(
-                "INSERT OR REPLACE INTO trials "
-                "(trial_index, spec_index, replicate, seed, summary, result) "
-                "VALUES (?, ?, ?, ?, ?, ?)", rows)
+                f"INSERT OR REPLACE INTO trials "
+                f"(trial_index, label, {columns}, result) "
+                f"VALUES ({placeholders})", rows)
         self._commits += 1
         if self._crash_after is not None and self._commits >= self._crash_after:
             # Crash-injection harness: die the hard way (no cleanup, no

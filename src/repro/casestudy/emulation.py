@@ -364,7 +364,7 @@ def run_trial_batch(config: CaseStudyConfig, *, with_lease: bool = True,
                     seeds: Sequence[int], duration: float | None = None,
                     channel_builder=None, surgeon_builder=None,
                     record_variables: Sequence[tuple[str, str]] = (),
-                    ) -> List[TrialResult]:
+                    buffers=None) -> List[TrialResult]:
     """Run one batch of replicate trials in vectorized lockstep.
 
     The campaign counterpart of :func:`run_trial`: all trials share one
@@ -387,6 +387,12 @@ def run_trial_batch(config: CaseStudyConfig, *, with_lease: bool = True,
             scripted surgeons; ``None`` uses the stochastic surgeon model
             seeded per trial.
         record_variables: ``(automaton, variable)`` pairs to sample.
+        buffers: Optional
+            :class:`~repro.hybrid.simulate.batched.ExternalBatchBuffers`
+            (e.g. a shared-memory plane's lane range from
+            :meth:`repro.campaign.shm.StatePlane.buffers`) for the engine
+            to run on; ``None`` keeps the engine's private allocations.
+            Results are bit-identical either way.
 
     Returns:
         One :class:`TrialResult` per seed, in seed order.
@@ -414,7 +420,8 @@ def run_trial_batch(config: CaseStudyConfig, *, with_lease: bool = True,
     # statistics match run_trial's streaming path sample for sample.
     engine = BatchedEngine(lowered, lanes=lanes, couplings=template.couplings,
                            dt_max=config.dt_max, record_variables=sampled,
-                           sample_interval=0.5, record_trace=False)
+                           sample_interval=0.5, record_trace=False,
+                           buffers=buffers)
     engine.run(duration)
     results = []
     for seed, stats, network, surgeon in zip(seeds, stats_list, networks,

@@ -19,7 +19,8 @@ stream statistics without retaining the run.  :func:`build_engine` selects
 a kernel by name or via the ``REPRO_ENGINE`` environment variable.
 """
 
-from repro.hybrid.simulate.batched import BatchedEngine, BatchedTables, Lane
+from repro.hybrid.simulate.batched import (BatchedEngine, BatchedTables,
+                                           ExternalBatchBuffers, Lane)
 from repro.hybrid.simulate.compiled import (CompiledEngine, CompiledSystem,
                                             ENGINE_ENV_VAR, ENGINE_KINDS,
                                             build_engine, compile_system,
@@ -35,6 +36,7 @@ __all__ = [
     "CompiledEngine",
     "BatchedEngine",
     "BatchedTables",
+    "ExternalBatchBuffers",
     "Lane",
     "CompiledSystem",
     "compile_system",

@@ -603,10 +603,88 @@ class BatchedTables:
         self.automata = tuple(BatchedAutomatonTables(ca)
                               for ca in compiled.automata)
 
+    def plane_columns(self) -> tuple[int, int]:
+        """Column counts an external lane allocator must provide.
+
+        Returns:
+            ``(state_columns, cross_columns)``: the width of the global
+            ``(B, state_columns)`` state/rate/driven matrices (every
+            automaton's slot block plus its spare columns) and of the
+            stacked per-lane crossing table.  Both are pure functions of
+            the compiled system, so the allocating parent and the
+            executing workers agree on them without coordination.
+        """
+        state = sum(len(tab.ca.slot_of) + _SPARE_COLUMNS
+                    for tab in self.automata)
+        cross = sum(tab.cross_width for tab in self.automata)
+        return state, cross
+
 
 def build_batched_tables(compiled: CompiledSystem) -> BatchedTables:
     """Build (or fetch) the vector lowering tables of a compiled system."""
     return BatchedTables(compiled)
+
+
+class ExternalBatchBuffers:
+    """Externally allocated backing arrays for one :class:`BatchedEngine`.
+
+    The engine normally allocates its global ``(B, state_columns)`` state
+    matrix and per-lane scratch tables privately; handing it an instance of
+    this class makes it run on caller-owned storage instead — typically
+    row ranges of a shared-memory plane
+    (:class:`repro.campaign.shm.StatePlane`), so one campaign cell's lanes
+    can span several worker processes.  The engine zero-initializes the
+    arrays exactly as it would its own, so results are independent of the
+    storage's provenance; if the model outgrows the provided widths at
+    runtime (a dynamically added variable), the engine detaches and falls
+    back to private arrays, copying the state over.
+
+    Array contract (``B`` lanes, widths from
+    :meth:`BatchedTables.plane_columns`): ``X``/``R`` are ``(B,
+    state_columns)`` float64, ``D`` is ``(B, state_columns)`` bool;
+    ``C_thr``/``C_rate``/``C_sign``/``C_sthr`` are ``(B, cross_columns)``
+    float64, ``C_col`` intp and ``C_strict``/``C_eq``/``C_want`` bool of
+    the same shape.
+    """
+
+    ARRAY_NAMES = ("X", "R", "D", "C_col", "C_thr", "C_rate", "C_sign",
+                   "C_sthr", "C_strict", "C_eq", "C_want")
+
+    __slots__ = ARRAY_NAMES
+
+    def __init__(self, **arrays):
+        for name in self.ARRAY_NAMES:
+            setattr(self, name, arrays[name])
+
+    @classmethod
+    def allocate(cls, lanes: int, state_columns: int,
+                 cross_columns: int) -> "ExternalBatchBuffers":
+        """Allocate plain (non-shared) buffers of the given geometry."""
+        _require_numpy()
+        return cls(
+            X=np.empty((lanes, state_columns), dtype=np.float64),
+            R=np.empty((lanes, state_columns), dtype=np.float64),
+            D=np.empty((lanes, state_columns), dtype=bool),
+            C_col=np.empty((lanes, cross_columns), dtype=np.intp),
+            C_thr=np.empty((lanes, cross_columns), dtype=np.float64),
+            C_rate=np.empty((lanes, cross_columns), dtype=np.float64),
+            C_sign=np.empty((lanes, cross_columns), dtype=np.float64),
+            C_sthr=np.empty((lanes, cross_columns), dtype=np.float64),
+            C_strict=np.empty((lanes, cross_columns), dtype=bool),
+            C_eq=np.empty((lanes, cross_columns), dtype=bool),
+            C_want=np.empty((lanes, cross_columns), dtype=bool))
+
+    def matches(self, lanes: int, state_columns: int,
+                cross_columns: int) -> bool:
+        """Whether these buffers fit an engine of the given geometry."""
+        return (self.X.shape == (lanes, state_columns)
+                and self.C_thr.shape == (lanes, cross_columns))
+
+    def rows(self, start: int, count: int) -> "ExternalBatchBuffers":
+        """A view of lanes ``[start, start + count)`` of these buffers."""
+        sl = slice(start, start + count)
+        return ExternalBatchBuffers(
+            **{name: getattr(self, name)[sl] for name in self.ARRAY_NAMES})
 
 
 # ---------------------------------------------------------------------------
@@ -881,7 +959,8 @@ class BatchedEngine:
                  record_variables: Iterable[tuple[str, str]] = (),
                  sample_interval: float = 0.25,
                  observers: Sequence[TraceObserver] = (),
-                 record_trace: bool = True):
+                 record_trace: bool = True,
+                 buffers: "ExternalBatchBuffers | None" = None):
         _require_numpy()
         self.compiled = (system if isinstance(system, CompiledSystem)
                          else compile_system(system))
@@ -900,6 +979,7 @@ class BatchedEngine:
         self.record_variables = list(record_variables)
         self.sample_interval = float(sample_interval)
         self._record_trace = record_trace
+        self._ext_buffers = buffers
         self._ctxs = [_LaneContext(i, lane, record_trace)
                       for i, lane in enumerate(lanes)]
         for ctx in self._ctxs:
@@ -1005,20 +1085,54 @@ class BatchedEngine:
         self._act_version += 1
 
     def _rebuild_matrices(self) -> None:
-        """(Re)allocate the global state/rate/driven/crossing matrices."""
+        """(Re)allocate the global state/rate/driven/crossing matrices.
+
+        With matching :class:`ExternalBatchBuffers` attached, the matrices
+        are the caller's arrays, zero-initialized here exactly like the
+        private ``np.zeros``/``np.full`` allocations — lane results never
+        depend on where the storage lives.  Buffers that do not fit (a
+        runtime-grown automaton widened the layout) detach permanently.
+        """
         total = sum(auto.width for auto in self._autos)
         cross_total = sum(auto.tab.cross_width for auto in self._autos)
-        self._X = np.zeros((self.batch, total), dtype=np.float64)
-        self._R = np.zeros((self.batch, total), dtype=np.float64)
-        self._D = np.zeros((self.batch, total), dtype=bool)
-        self._C_col = np.zeros((self.batch, cross_total), dtype=np.intp)
-        self._C_thr = np.full((self.batch, cross_total), math.inf)
-        self._C_rate = np.ones((self.batch, cross_total), dtype=np.float64)
-        self._C_sign = np.ones((self.batch, cross_total), dtype=np.float64)
-        self._C_sthr = np.full((self.batch, cross_total), math.inf)
-        self._C_strict = np.zeros((self.batch, cross_total), dtype=bool)
-        self._C_eq = np.zeros((self.batch, cross_total), dtype=bool)
-        self._C_want = np.zeros((self.batch, cross_total), dtype=bool)
+        ext = self._ext_buffers
+        if ext is not None and not ext.matches(self.batch, total, cross_total):
+            ext = self._ext_buffers = None
+        if ext is not None:
+            self._X = ext.X
+            self._R = ext.R
+            self._D = ext.D
+            self._C_col = ext.C_col
+            self._C_thr = ext.C_thr
+            self._C_rate = ext.C_rate
+            self._C_sign = ext.C_sign
+            self._C_sthr = ext.C_sthr
+            self._C_strict = ext.C_strict
+            self._C_eq = ext.C_eq
+            self._C_want = ext.C_want
+            self._X[:] = 0.0
+            self._R[:] = 0.0
+            self._D[:] = False
+            self._C_col[:] = 0
+            self._C_thr[:] = math.inf
+            self._C_rate[:] = 1.0
+            self._C_sign[:] = 1.0
+            self._C_sthr[:] = math.inf
+            self._C_strict[:] = False
+            self._C_eq[:] = False
+            self._C_want[:] = False
+        else:
+            self._X = np.zeros((self.batch, total), dtype=np.float64)
+            self._R = np.zeros((self.batch, total), dtype=np.float64)
+            self._D = np.zeros((self.batch, total), dtype=bool)
+            self._C_col = np.zeros((self.batch, cross_total), dtype=np.intp)
+            self._C_thr = np.full((self.batch, cross_total), math.inf)
+            self._C_rate = np.ones((self.batch, cross_total), dtype=np.float64)
+            self._C_sign = np.ones((self.batch, cross_total), dtype=np.float64)
+            self._C_sthr = np.full((self.batch, cross_total), math.inf)
+            self._C_strict = np.zeros((self.batch, cross_total), dtype=bool)
+            self._C_eq = np.zeros((self.batch, cross_total), dtype=bool)
+            self._C_want = np.zeros((self.batch, cross_total), dtype=bool)
         self._cross_total = cross_total
         self._cross_has_eq = any(
             bool(row[6].any())
@@ -1035,6 +1149,8 @@ class BatchedEngine:
         old = {auto.ca.name: (np.array(auto.arr), np.array(auto.rates),
                               np.array(auto.driven)) for auto in self._autos}
         grown.width += _SPARE_COLUMNS
+        # External buffers are sized for the compile-time layout; a grown
+        # layout detaches them (the rebuild below re-checks the fit).
         self._rebuild_matrices()
         for auto in self._autos:
             arr, rates, driven = old[auto.ca.name]

@@ -469,6 +469,27 @@ class CompiledSystem:
             self._batched_tables = tables
         return tables
 
+    def slot_layout(self) -> tuple[tuple[str, int], ...]:
+        """Export the per-automaton slot layout of this lowered system.
+
+        The layout is what external allocators (the shared-memory batch
+        plane in :mod:`repro.campaign.shm`) need to size a ``(B,
+        total_slots)`` state matrix without rebuilding the lowering: one
+        ``(automaton_name, slot_count)`` pair per member automaton, in
+        automaton index order.  It is a pure function of the hybrid model,
+        so any process that lowers the same system computes the same
+        layout.
+
+        Returns:
+            ``(name, slots)`` pairs in automaton order.
+        """
+        return tuple((ca.name, len(ca.slot_of)) for ca in self.automata)
+
+    @property
+    def total_slots(self) -> int:
+        """Total state-variable slots across every member automaton."""
+        return sum(len(ca.slot_of) for ca in self.automata)
+
 
 def compile_system(system: HybridSystem) -> CompiledSystem:
     """Lower ``system`` into the compiled kernel's index-based tables."""

@@ -152,12 +152,84 @@ class TestDeterminism:
         spec = table1_spec(duration=100.0, replicates=40)
         assert resolve_batch_size(7, spec, 4, "batched") == 7
         assert resolve_batch_size(None, spec, 1, "compiled") == 1
-        assert resolve_batch_size(None, spec, 4, "batched") == 10
+        # 40 replicates over 4 workers is a 10-lane split — below the
+        # lockstep break-even, so auto keeps per-trial dispatch.
+        assert resolve_batch_size(None, spec, 4, "batched") == 1
         assert resolve_batch_size(None, spec, 1, "batched") == 40
         wide = table1_spec(duration=100.0, replicates=1000)
         assert resolve_batch_size(None, wide, 1, "batched") == 64  # capped
         with pytest.raises(ValueError):
             resolve_batch_size(-1, spec, 1, "batched")
+
+    def test_min_lanes_threshold_env(self, monkeypatch):
+        from repro.campaign import min_lockstep_lanes, resolve_batch_size
+        from repro.campaign.executor import (BATCH_MIN_LANES_ENV_VAR,
+                                             DEFAULT_BATCH_MIN_LANES)
+
+        spec = table1_spec(duration=100.0, replicates=40)
+        assert min_lockstep_lanes() == DEFAULT_BATCH_MIN_LANES
+        # Lowering the break-even re-enables lockstep for the 10-lane split.
+        monkeypatch.setenv(BATCH_MIN_LANES_ENV_VAR, "4")
+        assert min_lockstep_lanes() == 4
+        assert resolve_batch_size(None, spec, 4, "batched") == 10
+        # Raising it past the largest cell forces per-trial dispatch even
+        # for a single worker.
+        monkeypatch.setenv(BATCH_MIN_LANES_ENV_VAR, "64")
+        assert resolve_batch_size(None, spec, 1, "batched") == 1
+        # Explicit batch sizes are always honoured as given.
+        monkeypatch.setenv(BATCH_MIN_LANES_ENV_VAR, "64")
+        assert resolve_batch_size(3, spec, 4, "batched") == 3
+        monkeypatch.setenv(BATCH_MIN_LANES_ENV_VAR, "not-a-number")
+        with pytest.raises(ValueError):
+            min_lockstep_lanes()
+        monkeypatch.setenv(BATCH_MIN_LANES_ENV_VAR, "0")
+        with pytest.raises(ValueError):
+            min_lockstep_lanes()
+
+    def test_resolve_batch_size_edge_cases(self, monkeypatch):
+        from repro.campaign import resolve_batch_size
+        from repro.campaign.executor import BATCH_MIN_LANES_ENV_VAR
+
+        monkeypatch.setenv(BATCH_MIN_LANES_ENV_VAR, "1")
+        one = table1_spec(duration=100.0, replicates=1)
+        # One trial per cell: nothing to batch, but still a legal size.
+        assert resolve_batch_size(None, one, 4, "batched") == 1
+        # Explicit batch size larger than any cell is accepted; chunking
+        # naturally clips it at the cell boundary.
+        assert resolve_batch_size(100, one, 4, "batched") == 100
+        # Worker count exceeding the total lane count still splits sanely.
+        small = table1_spec(duration=100.0, replicates=3)
+        assert resolve_batch_size(None, small, 64, "batched") == 1
+
+    def test_chunk_runs_edge_cases(self):
+        from repro.campaign.executor import _chunk_runs
+
+        spec = table1_spec(duration=100.0, replicates=5)
+        runs = spec.expand(7)
+        per_cell = 5
+
+        # batch_size larger than the cell: one task per cell, cells never mix.
+        tasks = _chunk_runs(runs, 100)
+        assert len(tasks) == len(spec.trials)
+        for spec_index, chunk in tasks:
+            assert len(chunk) == per_cell
+            assert {index for index, _, _ in chunk} == {
+                run.index for run in runs if run.spec_index == spec_index}
+
+        # batch_size 1: one task per trial, in expansion order.
+        singles = _chunk_runs(runs, 1)
+        assert [chunk[0][0] for _, chunk in singles] == [r.index for r in runs]
+
+        # Uneven split: 5 replicates in batches of 2 -> 2+2+1 per cell.
+        uneven = _chunk_runs(runs, 2)
+        sizes = [len(chunk) for _, chunk in uneven]
+        assert sizes == [2, 2, 1] * len(spec.trials)
+        # Every trial appears exactly once across the lane ranges.
+        seen = [index for _, chunk in uneven for index, _, _ in chunk]
+        assert sorted(seen) == [run.index for run in runs]
+
+        # Empty input chunks to no tasks.
+        assert _chunk_runs([], 4) == []
 
 
 class TestTable1Compatibility:
