@@ -1,0 +1,105 @@
+"""Recovery overhead of the self-healing executor under injected faults.
+
+Two gates:
+
+* a **plan microbenchmark** — the fault-plan queries sit on the dispatch
+  hot path of every batch (``crash_at``/``hang_secs``/``corrupt_at`` per
+  dispatch, ``raise_in_trial`` per trial), so an armed plan must stay in
+  the sub-microsecond range per query;
+* the **Table-I campaign under chaos** end to end: the same pooled
+  campaign clean versus with an injected worker crash.  The faulted run
+  must produce byte-identical aggregates (nothing quarantined — the
+  crashed batch reschedules and replays its exact seeds) and finish
+  within a bounded factor of the clean run: recovery costs one pool
+  respawn plus the re-execution of the lost batches, not a restart of
+  the campaign.
+
+``REPRO_BENCH_QUICK=1`` shrinks the horizon for CI; the absolute slack
+then dominates the overhead bound, since a short run's wall time is
+mostly pool startup.
+"""
+
+import json
+import time
+
+from _quick import quick
+from repro.campaign import run_campaign, table1_spec
+from repro.campaign.faults import FaultPlan
+
+#: Simulated seconds per trial (the paper's Table I trials run 30 minutes).
+TRIAL_DURATION = quick(1800.0, 60.0)
+
+#: Replicates per campaign cell.
+REPLICATES = int(quick(32, 8))
+
+#: Worker processes of the pooled runs.
+WORKERS = 2
+
+#: Plan-query microbenchmark: queries per rep, reps (best-of), and the
+#: per-query budget.  Measured ~1-2 us/query; the bar leaves headroom.
+PLAN_QUERIES = int(quick(200_000, 40_000))
+PLAN_REPS = 3
+MAX_PLAN_QUERY_US = 20.0
+
+#: Recovery overhead gate: the crash-injected campaign may cost at most
+#: this factor of the clean campaign plus the absolute slack (one pool
+#: respawn and the lost batches' re-execution).
+MAX_FAULTED_FACTOR = 2.0
+FAULTED_SLACK_S = 15.0
+
+
+def test_fault_plan_queries_stay_cheap():
+    """Microbenchmark gate: per-dispatch plan queries off the hot path."""
+    plan = FaultPlan.parse(
+        "crash@batch=999983;hang@batch=999979,secs=5;corrupt@p=0.000001;"
+        "raise@trial=999961;lock@commit=999959")
+    best = float("inf")
+    fired = 0
+    for _ in range(PLAN_REPS):
+        started = time.perf_counter()
+        for dispatch in range(1, PLAN_QUERIES + 1):
+            if plan.crash_at(dispatch):
+                fired += 1
+            if plan.hang_secs(dispatch):
+                fired += 1
+            if plan.corrupt_at(dispatch):
+                fired += 1
+            if plan.raise_in_trial(dispatch, 0):
+                fired += 1
+        best = min(best, time.perf_counter() - started)
+    per_query_us = best / (PLAN_QUERIES * 4) * 1e6
+    print(f"\nplan queries: {per_query_us:.2f} us/query "
+          f"(best of {PLAN_REPS}x{PLAN_QUERIES} dispatches, {fired} fired)")
+    assert per_query_us <= MAX_PLAN_QUERY_US, (
+        f"fault-plan query cost {per_query_us:.2f} us exceeds the "
+        f"{MAX_PLAN_QUERY_US} us budget")
+
+
+def _campaign(fault_plan=None):
+    spec = table1_spec(mean_toffs=(18.0,), duration=TRIAL_DURATION,
+                       replicates=REPLICATES, legacy_seed=None)
+    started = time.perf_counter()
+    result = run_campaign(spec, seed=7, max_workers=WORKERS,
+                          batch_size=max(2, REPLICATES // 4),
+                          engine="reference", fault_plan=fault_plan)
+    return result, time.perf_counter() - started
+
+
+def test_crash_recovery_overhead_is_bounded():
+    """End-to-end gate: chaos run == clean run, at bounded extra cost."""
+    clean, clean_s = _campaign()
+    faulted, faulted_s = _campaign(fault_plan="crash@batch=2")
+
+    assert not faulted.quarantined
+    kinds = [kind for kind, _ in faulted.recovery_events]
+    assert "pool-respawn" in kinds
+    clean_payload = json.dumps(clean.to_json()["campaign"], sort_keys=True)
+    faulted_payload = json.dumps(faulted.to_json()["campaign"], sort_keys=True)
+    assert faulted_payload == clean_payload
+
+    bound = clean_s * MAX_FAULTED_FACTOR + FAULTED_SLACK_S
+    print(f"\nclean {clean_s:.2f}s, crash-injected {faulted_s:.2f}s "
+          f"(recovery cost {faulted_s - clean_s:+.2f}s, bound {bound:.2f}s)")
+    assert faulted_s <= bound, (
+        f"crash recovery cost too high: {faulted_s:.2f}s vs clean "
+        f"{clean_s:.2f}s (bound {bound:.2f}s)")

@@ -6,16 +6,24 @@ executor with deterministic per-trial seeding
 zero-copy results ring for pooled runs (:mod:`repro.campaign.shm`),
 streaming aggregation into experiment-compatible summaries
 (:mod:`repro.campaign.aggregate`), a durable sqlite checkpoint store with
-crash/resume semantics (:mod:`repro.campaign.store`), the paper's
-experiments as reusable presets (:mod:`repro.campaign.presets`), and a
-CLI (``python -m repro.campaign``).
+crash/resume semantics (:mod:`repro.campaign.store`), deterministic
+fault-injection plans driving the executor's self-healing paths
+(:mod:`repro.campaign.faults`), the paper's experiments as reusable
+presets (:mod:`repro.campaign.presets`), and a CLI
+(``python -m repro.campaign``).
 """
 
 from repro.campaign.aggregate import (SUMMARY_RECORD_FIELDS, CampaignResult,
                                       GroupSummary, TrialSummary)
-from repro.campaign.executor import (default_worker_count, execute_batch,
+from repro.campaign.executor import (DEFAULT_MAX_RESPAWNS, DEFAULT_MAX_RETRIES,
+                                     CampaignExecutionError,
+                                     CampaignInterrupted,
+                                     default_worker_count, execute_batch,
                                      execute_trial, min_lockstep_lanes,
                                      resolve_batch_size, run_campaign)
+from repro.campaign.faults import (FAULT_PLAN_ENV_VAR, FaultPlan,
+                                   FaultPlanError, InjectedTrialFault,
+                                   TrialFailure, resolve_fault_plan)
 from repro.campaign.shm import (ResultsRing, ShmError, ShmSession, StatePlane,
                                 shared_memory_available)
 from repro.campaign.presets import (PRESETS, Preset, grid_spec, loss_sweep_spec,
@@ -31,6 +39,10 @@ __all__ = [
     "expand_grid",
     "run_campaign", "execute_trial", "execute_batch", "resolve_batch_size",
     "min_lockstep_lanes", "default_worker_count",
+    "CampaignExecutionError", "CampaignInterrupted",
+    "DEFAULT_MAX_RETRIES", "DEFAULT_MAX_RESPAWNS",
+    "FaultPlan", "FaultPlanError", "InjectedTrialFault", "TrialFailure",
+    "resolve_fault_plan", "FAULT_PLAN_ENV_VAR",
     "CampaignResult", "GroupSummary", "TrialSummary", "SUMMARY_RECORD_FIELDS",
     "ShmSession", "StatePlane", "ResultsRing", "ShmError",
     "shared_memory_available",

@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import asdict, dataclass, field
 from typing import TYPE_CHECKING, Dict, List, Sequence, Tuple
 
+from repro.campaign.faults import TrialFailure
 from repro.campaign.spec import mode_label
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
@@ -237,6 +238,14 @@ class CampaignResult:
     ``replayed_trials`` are execution metadata and deliberately excluded
     from :meth:`to_json`'s ``"campaign"`` payload so that determinism
     checks can compare payloads byte-for-byte.
+
+    ``quarantined`` lists the trials the self-healing executor gave up on
+    (their retry budget exhausted; they have no summary), and
+    ``recovery_events`` the supervisor's recovery actions (pool respawns,
+    deadline kills, bisections, …).  Both live in the ``"run"`` metadata
+    section of :meth:`to_json`: the ``"campaign"`` section stays a pure
+    function of the completed trials, so a faulted run remains
+    byte-comparable to a clean reference over the same trial subset.
     """
 
     spec: "CampaignSpec"
@@ -246,6 +255,8 @@ class CampaignResult:
     summaries: Tuple[TrialSummary, ...]
     results: Tuple["TrialResult", ...] | None = field(default=None, repr=False)
     replayed_trials: int = 0
+    quarantined: Tuple[TrialFailure, ...] = ()
+    recovery_events: Tuple[Tuple[str, str], ...] = ()
 
     @property
     def total_trials(self) -> int:
@@ -303,5 +314,7 @@ class CampaignResult:
                 "wall_time_s": self.wall_time,
                 "trials_per_second": self.trials_per_second,
                 "replayed_trials": self.replayed_trials,
+                "quarantined": [asdict(f) for f in self.quarantined],
+                "recovery_events": [list(e) for e in self.recovery_events],
             },
         }

@@ -23,8 +23,20 @@ Examples::
         --workers 8 --store table1.db --resume
     python -m repro.campaign --store table1.db --status
 
-The exit status is 0 when every experiment check holds, 1 otherwise
-(2 for usage errors, including checkpoint-store mismatches).
+    # Chaos drill: kill the worker of batch 2, hang batch 3 past the
+    # 10-second deadline, and poison trial 5 -- the supervisor respawns
+    # the pool, reschedules the lost batches, quarantines the poison
+    # trial after its retries, and the campaign still completes.
+    python -m repro.campaign --experiment table1 --replicates 8 --workers 2 \
+        --batch-deadline 10 --fault-plan 'crash@batch=2;hang@batch=3;raise@trial=5'
+
+The exit status is 0 when every experiment check holds, 1 otherwise;
+2 for usage errors (including checkpoint-store mismatches and malformed
+fault plans), 3 when the executor's recovery budget is exhausted
+(:class:`~repro.campaign.executor.CampaignExecutionError`), and
+``128 + signum`` (130 for SIGINT, 143 for SIGTERM) when a signal
+interrupts the run after checkpoints were flushed and shared memory was
+unlinked.
 """
 
 from __future__ import annotations
@@ -32,11 +44,17 @@ from __future__ import annotations
 import argparse
 import json
 import os
+import shlex
+import signal
 import sys
 from typing import Sequence
 
 from repro.campaign.aggregate import TrialSummary
-from repro.campaign.executor import PAYLOAD_KINDS, default_worker_count, run_campaign
+from repro.campaign.executor import (PAYLOAD_KINDS, CampaignExecutionError,
+                                     CampaignInterrupted, DEFAULT_MAX_RESPAWNS,
+                                     DEFAULT_MAX_RETRIES,
+                                     default_worker_count, run_campaign)
+from repro.campaign.faults import FaultPlanError, resolve_fault_plan
 from repro.campaign.presets import PRESETS
 from repro.campaign.spec import CampaignSpec
 from repro.campaign.store import CampaignStore, CampaignStoreError
@@ -125,7 +143,30 @@ def build_parser() -> argparse.ArgumentParser:
                              "run")
     parser.add_argument("--status", action="store_true",
                         help="print the checkpoint status of --store and "
-                             "exit")
+                             "exit (opens the store read-only, so it is "
+                             "safe against a live run)")
+    parser.add_argument("--max-retries", type=int, default=DEFAULT_MAX_RETRIES,
+                        metavar="N",
+                        help="retries a failing trial gets beyond its first "
+                             "attempt before it is quarantined (recorded in "
+                             "the store's failures table; the campaign "
+                             f"continues). Default: {DEFAULT_MAX_RETRIES}")
+    parser.add_argument("--batch-deadline", type=float, default=None,
+                        metavar="SECONDS",
+                        help="hung-worker watchdog: an in-flight batch "
+                             "exceeding this deadline gets its worker "
+                             "killed and the batch rescheduled (pooled "
+                             "runs only; default: no deadline)")
+    parser.add_argument("--max-respawns", type=int, default=None, metavar="N",
+                        help="worker-pool respawns (crashed or hung pools) "
+                             "tolerated before the campaign aborts with "
+                             "exit status 3 (default: "
+                             f"{DEFAULT_MAX_RESPAWNS})")
+    parser.add_argument("--fault-plan", default=None, metavar="PLAN",
+                        help="deterministic fault-injection plan, e.g. "
+                             "'crash@batch=2;raise@trial=5' (see "
+                             "repro.campaign.faults; default: the "
+                             "REPRO_FAULT_PLAN environment variable)")
     parser.add_argument("--json", default=None, metavar="PATH",
                         help="write the full campaign result as JSON")
     parser.add_argument("--quiet", action="store_true",
@@ -173,6 +214,23 @@ def build_spec(args: argparse.Namespace) -> CampaignSpec:
     return PRESETS[name].build(**kwargs)
 
 
+def _resume_command(argv: Sequence[str] | None) -> str:
+    """Reconstruct the exact shell command that resumes this invocation.
+
+    Args:
+        argv: The argument vector ``main`` was called with (``None`` means
+            the process's own ``sys.argv``).
+
+    Returns:
+        A ready-to-paste ``python -m repro.campaign ... --resume`` line.
+    """
+    parts = list(sys.argv[1:] if argv is None else argv)
+    parts = [part for part in parts if part != "--resume"]
+    parts.append("--resume")
+    quoted = " ".join(shlex.quote(part) for part in parts)
+    return f"python -m repro.campaign {quoted}"
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """Run the campaign CLI (the ``python -m repro.campaign`` entry point).
 
@@ -182,7 +240,8 @@ def main(argv: Sequence[str] | None = None) -> int:
     Returns:
         Process exit status: 0 when every experiment check holds, 1 when
         one fails, 2 for usage errors (including checkpoint-store
-        mismatches).
+        mismatches and malformed fault plans), 3 when the recovery budget
+        is exhausted, ``128 + signum`` on SIGINT/SIGTERM.
     """
     args = build_parser().parse_args(argv)
     if args.replicates < 1:
@@ -194,16 +253,35 @@ def main(argv: Sequence[str] | None = None) -> int:
     if args.batch_size is not None and args.batch_size < 0:
         print("error: --batch-size must be non-negative", file=sys.stderr)
         return 2
+    if args.max_retries < 0:
+        print("error: --max-retries must be non-negative", file=sys.stderr)
+        return 2
+    if args.batch_deadline is not None and args.batch_deadline <= 0:
+        print("error: --batch-deadline must be positive", file=sys.stderr)
+        return 2
+    if args.max_respawns is not None and args.max_respawns < 0:
+        print("error: --max-respawns must be non-negative", file=sys.stderr)
+        return 2
     if (args.resume or args.status) and not args.store:
         flag = "--status" if args.status else "--resume"
         print(f"error: {flag} requires --store PATH", file=sys.stderr)
+        return 2
+    try:
+        fault_plan = resolve_fault_plan(args.fault_plan)
+    except FaultPlanError as exc:
+        print(f"error: bad fault plan: {exc}", file=sys.stderr)
         return 2
     if args.status:
         if not os.path.exists(args.store):
             print(f"error: no checkpoint store at {args.store}", file=sys.stderr)
             return 2
-        with CampaignStore(args.store) as checkpoint_store:
-            status = checkpoint_store.status()
+        try:
+            with CampaignStore(args.store,
+                               read_only=True) as checkpoint_store:
+                status = checkpoint_store.status()
+        except CampaignStoreError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
         if status is None:
             print(f"{args.store}: empty store (no campaign bound yet)")
         else:
@@ -235,16 +313,52 @@ def main(argv: Sequence[str] | None = None) -> int:
                   f"{summary.laser_emissions} emissions, "
                   f"{summary.failures} failures [{verdict}]")
 
+    def raise_interrupt(signum: int, _frame) -> None:
+        raise CampaignInterrupted(signum)
+
+    # SIGINT/SIGTERM unwind through run_campaign's cleanup (flushing the
+    # checkpoint store and unlinking shared memory) instead of dying at a
+    # random bytecode boundary, then map to the conventional 128+signum.
+    previous_handlers = {
+        signum: signal.signal(signum, raise_interrupt)
+        for signum in (signal.SIGINT, signal.SIGTERM)
+    }
     try:
         campaign = run_campaign(spec, seed=args.seed, max_workers=workers,
                                 payload=args.payload, engine=engine,
                                 batch_size=args.batch_size,
                                 on_result=progress,
                                 store=args.store, resume=args.resume,
-                                shm=args.shm)
+                                shm=args.shm,
+                                max_retries=args.max_retries,
+                                batch_deadline=args.batch_deadline,
+                                max_respawns=(args.max_respawns
+                                              if args.max_respawns is not None
+                                              else DEFAULT_MAX_RESPAWNS),
+                                fault_plan=fault_plan)
     except CampaignStoreError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    except CampaignExecutionError as exc:
+        if args.store:
+            exc.resume_command = _resume_command(argv)
+            print(f"error: {exc.args[0].splitlines()[0]}", file=sys.stderr)
+            print(f"checkpointed progress survives in {args.store}; "
+                  f"resume with:", file=sys.stderr)
+            print(f"  {exc.resume_command}", file=sys.stderr)
+        else:
+            print(f"error: {exc}", file=sys.stderr)
+        return 3
+    except CampaignInterrupted as exc:
+        print(f"\n{exc} after {done} trial(s)", file=sys.stderr)
+        if args.store:
+            print(f"checkpointed progress survives in {args.store}; "
+                  f"resume with:", file=sys.stderr)
+            print(f"  {_resume_command(argv)}", file=sys.stderr)
+        return 128 + exc.signum
+    finally:
+        for signum, handler in previous_handlers.items():
+            signal.signal(signum, handler)
     result = preset.to_result(campaign)
     print()
     print(result.render())
@@ -255,6 +369,15 @@ def main(argv: Sequence[str] | None = None) -> int:
         live = campaign.total_trials - campaign.replayed_trials
         print(f"resumed from {args.store}: {campaign.replayed_trials} "
               f"trial(s) replayed from checkpoints, {live} executed live")
+    if campaign.recovery_events:
+        print(f"\nrecovery events ({len(campaign.recovery_events)}):")
+        for kind, detail in campaign.recovery_events:
+            print(f"  [{kind}] {detail}")
+    if campaign.quarantined:
+        print(f"\nWARNING: {len(campaign.quarantined)} trial(s) quarantined "
+              f"(retry budget exhausted); aggregates exclude them:")
+        for failure in campaign.quarantined:
+            print(f"  {failure.describe()}")
 
     if args.json:
         payload = campaign.to_json()

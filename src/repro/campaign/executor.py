@@ -1,4 +1,4 @@
-"""Parallel Monte-Carlo campaign execution.
+"""Parallel Monte-Carlo campaign execution with self-healing supervision.
 
 Fans independent emulation trials out across worker processes with
 :class:`concurrent.futures.ProcessPoolExecutor`, falling back to an
@@ -27,17 +27,49 @@ batch is additionally committed to the store *before* it is published, and
 a resumed run replays the checkpointed prefix through the exact same
 aggregation path — see :mod:`repro.campaign.store` and
 ``docs/checkpoint-format.md``.
+
+Pooled runs execute under a **supervision loop** (:class:`_PoolSupervisor`)
+that survives the failure modes of long campaigns instead of aborting on
+them:
+
+* a worker that dies mid-batch (``BrokenProcessPool``) gets the pool
+  respawned and its batch rescheduled, against a bounded respawn budget;
+* a worker that hangs past ``batch_deadline`` seconds is killed together
+  with its pool, the hung batch is charged a failure, and the innocent
+  in-flight batches are resubmitted without penalty;
+* a batch that *fails* (an exception from inside a trial) is bisected
+  until the offending trial is isolated; the offender is retried up to
+  ``max_retries`` times and then **quarantined** — recorded as a
+  structured :class:`~repro.campaign.faults.TrialFailure` row in the
+  store's ``failures`` table — while the campaign carries on;
+* when several batches are in flight at a pool break, blame is imprecise:
+  the suspects are re-run one at a time (an *isolation* queue) without
+  being charged an attempt, so an innocent batch can never be quarantined
+  by a neighbour's crash.
+
+Because every trial's seed travels inside its task triple, a retried or
+rescheduled trial reproduces its original result exactly, and the
+aggregates of a faulted-but-recovered run are bit-identical to a clean
+serial reference (minus quarantined trials, which are reported, not
+silently dropped).  Deterministic fault injection for all of these paths
+lives in :mod:`repro.campaign.faults`.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import os
+import signal
 import time
+from collections import deque
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
-from typing import Callable, Dict, List, Sequence, Tuple
+from concurrent.futures.process import BrokenProcessPool
+from typing import Callable, Deque, Dict, List, Sequence, Tuple
 
 from repro.campaign import shm as shm_plane
 from repro.campaign.aggregate import CampaignResult, TrialSummary
+from repro.campaign.faults import (BatchContext, FaultPlan, InjectedTrialFault,
+                                   TrialFailure, resolve_fault_plan)
 from repro.campaign.spec import CampaignSpec, TrialRun
 from repro.campaign.store import (CampaignStore, CampaignStoreError,
                                   RecoveryStage, RecoveryStateMachine)
@@ -82,6 +114,7 @@ DEFAULT_BATCH_MIN_LANES = 16
 #: positive integer N makes a pool worker SIGKILL itself when it picks up
 #: its N-th batch task.  Used by the shared-memory crash-cleanup tests and
 #: the CI smoke (a hard-killed worker must not leak ``/dev/shm`` segments).
+#: Structured crash scripting lives in :mod:`repro.campaign.faults`.
 CRASH_WORKER_ENV_VAR = "REPRO_CAMPAIGN_CRASH_WORKER"
 
 #: Campaign-level engine default.  Direct engine construction stays on the
@@ -90,6 +123,15 @@ CRASH_WORKER_ENV_VAR = "REPRO_CAMPAIGN_CRASH_WORKER"
 #: ``--engine reference`` are the escape hatches.
 DEFAULT_CAMPAIGN_ENGINE = "compiled"
 
+#: Default per-trial retry budget: a trial that fails this many times
+#: *beyond* its first attempt is quarantined.
+DEFAULT_MAX_RETRIES = 2
+
+#: Default pool-respawn budget: more broken pools than this in one run
+#: aborts the campaign with :class:`CampaignExecutionError` (the
+#: checkpoint store still holds everything retired so far).
+DEFAULT_MAX_RESPAWNS = 8
+
 #: One dispatched batch: a campaign-cell index plus (index, replicate,
 #: seed) triples of the chunk's runs.  Everything else a worker needs is in
 #: the spec it received through the pool initializer.
@@ -97,6 +139,74 @@ _BatchTask = Tuple[int, Tuple[Tuple[int, int, int], ...]]
 
 #: Worker-process state installed by :func:`_init_worker`.
 _WORKER_CTX: tuple | None = None
+
+
+class CampaignExecutionError(RuntimeError):
+    """A campaign aborted after exhausting its recovery budget.
+
+    Carries the checkpoint-store path (when one was attached) and a
+    ready-to-paste ``--resume`` command so the operator can continue the
+    run without reconstructing the invocation.
+    """
+
+    def __init__(self, message: str, *, store_path: str | None = None,
+                 resume_command: str | None = None):
+        """Build the error, appending resume instructions when possible.
+
+        Args:
+            message: What went wrong.
+            store_path: Path of the attached checkpoint store, if any.
+            resume_command: Exact shell command that resumes the run; a
+                generic template is derived from ``store_path`` when the
+                caller (e.g. a library user, not the CLI) cannot supply
+                the original argv.
+        """
+        if store_path is not None and resume_command is None:
+            resume_command = ("python -m repro.campaign <original arguments> "
+                              f"--store {store_path} --resume")
+        if store_path is not None:
+            message = (f"{message}\ncheckpointed progress survives in "
+                       f"{store_path}; resume with:\n  {resume_command}")
+        super().__init__(message)
+        self.store_path = store_path
+        self.resume_command = resume_command
+
+
+class CampaignInterrupted(BaseException):
+    """A campaign was interrupted by SIGINT/SIGTERM (CLI signal handler).
+
+    Derives from :class:`BaseException` (like :class:`KeyboardInterrupt`)
+    so no recovery path in the supervisor can swallow it: an interrupt
+    must always unwind through ``run_campaign``'s cleanup (which flushes
+    the checkpoint store and unlinks shared memory) and out to the CLI.
+    """
+
+    def __init__(self, signum: int):
+        """Record the delivering signal.
+
+        Args:
+            signum: The POSIX signal number that interrupted the run.
+        """
+        super().__init__(f"campaign interrupted by signal {signum}")
+        self.signum = signum
+
+
+@dataclasses.dataclass(frozen=True)
+class _Pending:
+    """A batch awaiting (re)dispatch, with its per-trial failure counts."""
+
+    task: _BatchTask
+    attempts: Tuple[int, ...]
+
+
+@dataclasses.dataclass
+class _Flight:
+    """Book-keeping of one in-flight batch future."""
+
+    pending: _Pending
+    ticket: "shm_plane.PlaneTicket | None"
+    deadline: float | None
+    isolated: bool
 
 
 def default_worker_count() -> int:
@@ -162,6 +272,7 @@ def min_lockstep_lanes() -> int:
 def execute_trial(config: CaseStudyConfig, campaign_duration: float | None,
                   run: TrialRun, payload: str = "summary",
                   engine: str | None = None,
+                  fault: Callable[[], None] | None = None,
                   ) -> Tuple[int, TrialSummary, TrialResult | None]:
     """Execute one concrete trial (runs inside a worker process).
 
@@ -172,6 +283,9 @@ def execute_trial(config: CaseStudyConfig, campaign_duration: float | None,
         payload: What to return per trial (``"summary"``, ``"stats"``
             or ``"full"``).
         engine: Simulation-kernel override (``None`` = resolve default).
+        fault: Optional zero-argument fault-injection hook, invoked after
+            the case study is assembled and before the engine runs (see
+            :mod:`repro.campaign.faults`).
 
     Returns:
         The run index (for order restoration), the slim summary, and —
@@ -188,15 +302,46 @@ def execute_trial(config: CaseStudyConfig, campaign_duration: float | None,
     surgeon = spec.surgeon.build() if spec.surgeon is not None else None
     result = run_trial(trial_config, with_lease=spec.with_lease, seed=run.seed,
                        duration=duration, channel=channel, surgeon=surgeon,
-                       keep_trace=(payload == "full"), engine=engine)
+                       keep_trace=(payload == "full"), engine=engine,
+                       fault=fault)
     if result.trace is not None:
         result.trace = None
     summary = TrialSummary.from_trial(run, result)
     return run.index, summary, (result if payload != "summary" else None)
 
 
+def _batch_fault_hook(plan: FaultPlan | None, ctx: BatchContext | None,
+                      runs_lite: Tuple[Tuple[int, int, int], ...],
+                      ) -> Callable[[int], None] | None:
+    """Build the per-trial fault hook of one batch from the fault plan.
+
+    Args:
+        plan: The run's fault plan (``None``/empty disables injection).
+        ctx: Dispatch context carrying the batch's attempt counts.
+        runs_lite: The batch's ``(index, replicate, seed)`` triples.
+
+    Returns:
+        A hook mapping a lane offset to a possible
+        :class:`~repro.campaign.faults.InjectedTrialFault`, or ``None``
+        when the plan scripts no in-trial faults.
+    """
+    if not plan:
+        return None
+
+    def hook(offset: int) -> None:
+        index = runs_lite[offset][0]
+        attempt = ctx.attempts[offset] if ctx is not None else 0
+        if plan.raise_in_trial(index, attempt):
+            raise InjectedTrialFault(
+                f"injected fault in trial {index} (attempt {attempt + 1})")
+
+    return hook
+
+
 def execute_batch(spec: CampaignSpec, task: _BatchTask, payload: str,
                   engine: str, buffers=None,
+                  plan: FaultPlan | None = None,
+                  ctx: BatchContext | None = None,
                   ) -> List[Tuple[int, TrialSummary, TrialResult | None]]:
     """Execute one batch of same-cell replicates (runs inside a worker).
 
@@ -214,6 +359,10 @@ def execute_batch(spec: CampaignSpec, task: _BatchTask, payload: str,
         buffers: Optional externally allocated engine storage (a
             shared-memory plane's lane range) for the lockstep path;
             ``None`` keeps private allocations.  Never changes results.
+        plan: Optional fault plan; its ``raise`` clauses become the
+            per-trial fault hooks of this batch.
+        ctx: Dispatch context of the batch (dispatch number, per-trial
+            attempt counts); lets transient ``raise`` clauses expire.
 
     Returns:
         One ``(index, summary, result-or-None)`` triple per trial of the
@@ -221,6 +370,7 @@ def execute_batch(spec: CampaignSpec, task: _BatchTask, payload: str,
     """
     spec_index, runs_lite = task
     trial = spec.trials[spec_index]
+    fault_for = _batch_fault_hook(plan, ctx, runs_lite)
     if engine == "batched" and len(runs_lite) > 1 and payload != "full":
         trial_config = trial.configure(spec.config)
         duration = trial.duration if trial.duration is not None else spec.duration
@@ -230,7 +380,7 @@ def execute_batch(spec: CampaignSpec, task: _BatchTask, payload: str,
             duration=duration, channel_builder=trial.channel.build,
             surgeon_builder=((lambda _seed: trial.surgeon.build())
                              if trial.surgeon is not None else None),
-            buffers=buffers)
+            buffers=buffers, fault=fault_for)
         out = []
         for (index, replicate, seed), result in zip(runs_lite, results):
             run = TrialRun(index=index, spec_index=spec_index,
@@ -242,14 +392,17 @@ def execute_batch(spec: CampaignSpec, task: _BatchTask, payload: str,
     return [execute_trial(spec.config, spec.duration,
                           TrialRun(index=index, spec_index=spec_index,
                                    replicate=replicate, seed=seed, spec=trial),
-                          payload, engine)
-            for index, replicate, seed in runs_lite]
+                          payload, engine,
+                          fault=(None if fault_for is None
+                                 else (lambda off=offset: fault_for(off))))
+            for offset, (index, replicate, seed) in enumerate(runs_lite)]
 
 
-def _init_worker(spec: CampaignSpec, payload: str, engine: str) -> None:
+def _init_worker(spec: CampaignSpec, payload: str, engine: str,
+                 plan: FaultPlan | None = None) -> None:
     """Pool initializer: receive the campaign constants once per worker."""
     global _WORKER_CTX
-    _WORKER_CTX = (spec, payload, engine)
+    _WORKER_CTX = (spec, payload, engine, plan)
 
 
 #: Tasks this worker process has picked up (crash-injection bookkeeping).
@@ -264,12 +417,12 @@ def _maybe_crash_worker() -> None:
         return
     _WORKER_TASKS += 1
     if _WORKER_TASKS >= int(raw):
-        import signal
         os.kill(os.getpid(), signal.SIGKILL)
 
 
 def _execute_batch_in_worker(task: _BatchTask,
-                             token: "shm_plane.ShmToken | None" = None):
+                             token: "shm_plane.ShmToken | None" = None,
+                             ctx: BatchContext | None = None):
     """Task entry point inside a pool worker (context from the initializer).
 
     Without a token this is the classic pickled path: the full result
@@ -279,21 +432,44 @@ def _execute_batch_in_worker(task: _BatchTask,
     shared results ring, and returns only the trial count — plus, for the
     ``"stats"`` payload, the pickled ``TrialResult`` objects, whose
     monitor reports and lease ledgers have no fixed-width encoding.
+
+    This is also where the dispatch-keyed fault clauses land: ``crash``
+    SIGKILLs the worker before any work happens, ``hang`` sleeps past the
+    supervisor's batch deadline, and ``corrupt`` stamps the ring records
+    with a *negated* generation — generations are always positive, so a
+    corrupted stamp can never collide with a later legitimate allocation
+    of the same slots.
+
+    Args:
+        task: The batch to execute.
+        token: Optional shared-memory reservation of the batch.
+        ctx: Dispatch context (dispatch number + attempt counts) used by
+            the fault plan's injection points.
     """
     _maybe_crash_worker()
-    spec, payload, engine = _WORKER_CTX
+    spec, payload, engine, plan = _WORKER_CTX
+    if plan is not None and ctx is not None:
+        if plan.crash_at(ctx.dispatch):
+            os.kill(os.getpid(), signal.SIGKILL)
+        hang = plan.hang_secs(ctx.dispatch)
+        if hang > 0:
+            time.sleep(hang)
     if token is None:
-        return execute_batch(spec, task, payload, engine)
+        return execute_batch(spec, task, payload, engine, plan=plan, ctx=ctx)
     buffers = None
     if token.plane_name is not None:
         plane = shm_plane.attach_plane(token.plane_name, token.plane_lanes,
                                        token.state_columns,
                                        token.cross_columns)
         buffers = plane.buffers(token.lane_start, token.lane_count)
-    results = execute_batch(spec, task, payload, engine, buffers=buffers)
+    results = execute_batch(spec, task, payload, engine, buffers=buffers,
+                            plan=plan, ctx=ctx)
+    stamp = token.generation
+    if plan is not None and ctx is not None and plan.corrupt_at(ctx.dispatch):
+        stamp = -token.generation
     ring = shm_plane.attach_ring(token.ring_name, token.ring_capacity)
     for offset, (index, summary, _result) in enumerate(results):
-        ring.write(token.ring_start + offset, token.generation, index, summary)
+        ring.write(token.ring_start + offset, stamp, index, summary)
     if payload == "summary":
         return len(results), None
     return len(results), [result for _, _, result in results]
@@ -343,6 +519,338 @@ def _cell_plane_geometry(spec: CampaignSpec,
     return build_batched_tables(lowered).plane_columns()
 
 
+def _handle_batch_failure(pending: _Pending, exc: BaseException, *,
+                          max_retries: int,
+                          requeue: Callable[[_Pending], None],
+                          quarantine: Callable[[_Pending, BaseException], None],
+                          events: List[Tuple[str, str]]) -> None:
+    """Charge a failed batch and decide its fate: bisect, retry or give up.
+
+    Every trial of the batch is charged one failed attempt.  Multi-trial
+    batches are always *bisected* — never quarantined wholesale, so an
+    innocent replicate sharing a batch with a poison trial keeps its full
+    retry budget as the halves re-run.  A failing singleton retries until
+    its budget (``max_retries`` beyond the first attempt) is exhausted,
+    then goes to ``quarantine``.
+
+    Args:
+        pending: The failed batch with its pre-failure attempt counts.
+        exc: The failure.
+        max_retries: Per-trial retry budget.
+        requeue: Front-of-queue scheduler for the batch's successors
+            (called right-half first so the left half runs first).
+        quarantine: Sink for a trial whose budget is exhausted.
+        events: Recovery-event log to append to.
+    """
+    spec_index, runs_lite = pending.task
+    attempts = tuple(count + 1 for count in pending.attempts)
+    if len(runs_lite) > 1:
+        mid = len(runs_lite) // 2
+        events.append((
+            "bisect",
+            f"batch of {len(runs_lite)} trials (cell {spec_index}) failed "
+            f"({type(exc).__name__}: {exc}); splitting to isolate the "
+            f"offender"))
+        requeue(_Pending((spec_index, runs_lite[mid:]), attempts[mid:]))
+        requeue(_Pending((spec_index, runs_lite[:mid]), attempts[:mid]))
+        return
+    if attempts[0] > max_retries:
+        quarantine(_Pending(pending.task, attempts), exc)
+        return
+    events.append((
+        "retry",
+        f"trial {runs_lite[0][0]} failed attempt {attempts[0]} "
+        f"({type(exc).__name__}: {exc}); retrying"))
+    requeue(_Pending(pending.task, attempts))
+
+
+def _shutdown_pool(pool: ProcessPoolExecutor | None, *, kill: bool) -> None:
+    """Shut a pool down, gracefully or by force.
+
+    Args:
+        pool: The pool (``None`` is a no-op).
+        kill: ``False`` waits for in-flight work; ``True`` SIGKILLs every
+            worker still alive — the only way to get rid of a hung worker,
+            since the pool API has no per-worker cancellation.
+    """
+    if pool is None:
+        return
+    if not kill:
+        pool.shutdown(wait=True)
+        return
+    procs = list((getattr(pool, "_processes", None) or {}).values())
+    pool.shutdown(wait=False, cancel_futures=True)
+    for proc in procs:
+        if proc.is_alive():
+            proc.kill()
+    for proc in procs:
+        proc.join(timeout=5.0)
+
+
+class _PoolSupervisor:
+    """Self-healing scheduler of one campaign's pooled execution.
+
+    Owns the dispatch queue, the in-flight window, the pool lifecycle and
+    every recovery decision (see the module docs for the failure model).
+    The result/checkpoint plumbing stays in ``run_campaign``'s closures —
+    the supervisor only decides *what runs when* and *who is to blame*
+    when something breaks.
+    """
+
+    #: Extra seconds granted past a batch deadline before declaring a
+    #: hang, absorbing scheduler jitter around the ``wait()`` timeout.
+    _DEADLINE_SLACK = 0.05
+
+    def __init__(self, *, tasks: Sequence[_BatchTask], window: int,
+                 make_pool: Callable[[], ProcessPoolExecutor],
+                 acquire: Callable[[_BatchTask], tuple],
+                 publish: Callable[[_BatchTask, object, object], None],
+                 release: Callable[[object, int], None],
+                 quarantine: Callable[[_Pending, BaseException], None],
+                 events: List[Tuple[str, str]],
+                 max_retries: int, batch_deadline: float | None,
+                 max_respawns: int, store_path: str | None):
+        """Wire the supervisor to one campaign run.
+
+        Args:
+            tasks: The batches to execute (initial attempt counts zero).
+            window: Maximum batches in flight at once.
+            make_pool: Factory for a fresh, initialized worker pool.
+            acquire: Shared-memory reservation hook; returns a
+                ``(ticket, token)`` pair (both ``None`` = pickled path).
+            publish: Result sink (checkpoint + aggregate) for a finished
+                batch: ``publish(task, ticket, outcome)``.
+            release: Returns a ticket's shared-memory reservation without
+                consuming results (failed/rescheduled flights).
+            quarantine: Sink for trials whose retry budget is exhausted.
+            events: Shared recovery-event log.
+            max_retries: Per-trial retry budget.
+            batch_deadline: Seconds an in-flight batch may take before its
+                worker is declared hung (``None`` disables the watchdog).
+            max_respawns: Pool-respawn budget for the whole run.
+            store_path: Checkpoint-store path for error messages, if any.
+        """
+        self.queue: Deque[_Pending] = deque(
+            _Pending(task, (0,) * len(task[1])) for task in tasks)
+        self.isolation: Deque[_Pending] = deque()
+        self.inflight: Dict[object, _Flight] = {}
+        self.window = window
+        self.make_pool = make_pool
+        self.acquire = acquire
+        self.publish = publish
+        self.release = release
+        self.quarantine = quarantine
+        self.events = events
+        self.max_retries = max_retries
+        self.batch_deadline = batch_deadline
+        self.max_respawns = max_respawns
+        self.store_path = store_path
+        self.dispatch = 0
+        self.respawns = 0
+
+    # -- scheduling -------------------------------------------------------
+
+    def run(self) -> None:
+        """Execute every batch to completion (or quarantine)."""
+        pool = self.make_pool()
+        try:
+            while self.queue or self.isolation or self.inflight:
+                pool = self._fill(pool)
+                if not self.inflight:
+                    continue
+                done, _ = wait(frozenset(self.inflight),
+                               timeout=self._wait_timeout(),
+                               return_when=FIRST_COMPLETED)
+                for future in done:
+                    pool = self._retire(pool, future)
+                pool = self._check_deadlines(pool)
+            _shutdown_pool(pool, kill=False)
+        except BaseException:
+            _shutdown_pool(pool, kill=True)
+            raise
+
+    def _capacity(self) -> int:
+        """Current in-flight cap: 1 while isolating suspects, else window."""
+        if self.isolation or any(f.isolated for f in self.inflight.values()):
+            return 1
+        return self.window
+
+    def _fill(self, pool: ProcessPoolExecutor) -> ProcessPoolExecutor:
+        """Top the in-flight window up from the isolation/regular queues."""
+        while len(self.inflight) < self._capacity():
+            isolated = bool(self.isolation)
+            source = self.isolation if isolated else self.queue
+            if not source:
+                break
+            pending = source.popleft()
+            try:
+                self._submit_one(pool, pending, isolated)
+            except BrokenProcessPool as exc:
+                source.appendleft(pending)
+                pool = self._handle_pool_break(pool, exc)
+        return pool
+
+    def _submit_one(self, pool: ProcessPoolExecutor, pending: _Pending,
+                    isolated: bool) -> None:
+        """Dispatch one batch into the pool (fresh dispatch number)."""
+        ticket, token = self.acquire(pending.task)
+        self.dispatch += 1
+        ctx = BatchContext(dispatch=self.dispatch, attempts=pending.attempts)
+        try:
+            future = pool.submit(_execute_batch_in_worker, pending.task,
+                                 token, ctx)
+        except BrokenProcessPool:
+            self.release(ticket, len(pending.task[1]))
+            raise
+        deadline = (time.monotonic() + self.batch_deadline
+                    if self.batch_deadline is not None else None)
+        self.inflight[future] = _Flight(pending=pending, ticket=ticket,
+                                        deadline=deadline, isolated=isolated)
+
+    def _wait_timeout(self) -> float | None:
+        """Sleep budget of the next ``wait()``: until the earliest deadline."""
+        deadlines = [flight.deadline for flight in self.inflight.values()
+                     if flight.deadline is not None]
+        if not deadlines:
+            return None
+        return max(0.0, min(deadlines) - time.monotonic()
+                   + self._DEADLINE_SLACK)
+
+    # -- retirement and blame ---------------------------------------------
+
+    def _fail(self, pending: _Pending, exc: BaseException) -> None:
+        """Charge a precisely-blamed failure (bisect / retry / quarantine).
+
+        Successors go to the front of the isolation queue: they re-run one
+        at a time, so any further failure stays precisely attributable.
+        """
+        _handle_batch_failure(pending, exc, max_retries=self.max_retries,
+                              requeue=self.isolation.appendleft,
+                              quarantine=self.quarantine, events=self.events)
+
+    def _release_flight(self, flight: _Flight) -> None:
+        """Return a flight's shared-memory reservation unconsumed."""
+        self.release(flight.ticket, len(flight.pending.task[1]))
+
+    def _publish_flight(self, flight: _Flight, outcome) -> None:
+        """Publish a finished flight, demoting ring corruption to a retry."""
+        try:
+            self.publish(flight.pending.task, flight.ticket, outcome)
+        except shm_plane.ShmError as exc:
+            # The worker reported success but its ring records are bad
+            # (stale/corrupted generation stamps).  The reservation is
+            # recycled and the batch re-runs; its results were never
+            # published, so aggregates stay exact.
+            self._release_flight(flight)
+            self._fail(flight.pending, exc)
+
+    def _retire(self, pool: ProcessPoolExecutor,
+                future) -> ProcessPoolExecutor:
+        """Retire one completed future (may replace the pool)."""
+        flight = self.inflight.pop(future, None)
+        if flight is None:  # already drained by a recovery sweep
+            return pool
+        exc = future.exception()
+        if exc is None:
+            self._publish_flight(flight, future.result())
+            return pool
+        if isinstance(exc, BrokenProcessPool):
+            # Put the flight back so the break handler sees the complete
+            # in-flight picture when it assigns blame.
+            self.inflight[future] = flight
+            return self._handle_pool_break(pool, exc)
+        self._release_flight(flight)
+        self._fail(flight.pending, exc)
+        return pool
+
+    def _handle_pool_break(self, pool: ProcessPoolExecutor,
+                           exc: BaseException) -> ProcessPoolExecutor:
+        """Recover from a broken pool: salvage, assign blame, respawn.
+
+        Finished flights are published as usual (their results are safe).
+        If exactly one flight was actually lost, the blame is precise and
+        it is charged a failure; with several suspects the crash could
+        have been any of them, so they re-run one at a time through the
+        isolation queue *without* being charged — an innocent batch never
+        loses retry budget to a neighbour's crash.
+        """
+        suspects: List[_Pending] = []
+        for future, flight in list(self.inflight.items()):
+            if future.done() and future.exception() is None:
+                self._publish_flight(flight, future.result())
+                continue
+            future.cancel()
+            broken = future.done() and isinstance(future.exception(),
+                                                  BrokenProcessPool)
+            self._release_flight(flight)
+            if broken or not future.done():
+                suspects.append(flight.pending)
+            else:  # a real (pickled) exception: precise, pool break or not
+                self._fail(flight.pending, future.exception())
+        self.inflight.clear()
+        if len(suspects) == 1:
+            self._fail(suspects[0], exc)
+        elif suspects:
+            self.events.append((
+                "pool-break",
+                f"{len(suspects)} batches in flight when the pool broke; "
+                f"re-running them in isolation to assign blame"))
+            for pending in reversed(suspects):
+                self.isolation.appendleft(pending)
+        return self._respawn(pool, "pool break", exc)
+
+    def _check_deadlines(self, pool: ProcessPoolExecutor,
+                         ) -> ProcessPoolExecutor:
+        """Kill the pool if any in-flight batch blew its deadline."""
+        if self.batch_deadline is None or not self.inflight:
+            return pool
+        now = time.monotonic()
+        hung = {future for future, flight in self.inflight.items()
+                if not future.done() and flight.deadline is not None
+                and now >= flight.deadline}
+        if not hung:
+            return pool
+        # A hung worker cannot be cancelled individually; salvage every
+        # finished flight, charge the hung ones, resubmit the innocent
+        # ones unpenalized, and replace the pool.
+        for future, flight in list(self.inflight.items()):
+            if future.done() and future.exception() is None:
+                self._publish_flight(flight, future.result())
+                continue
+            future.cancel()
+            self._release_flight(flight)
+            if future in hung:
+                self.events.append((
+                    "deadline-kill",
+                    f"batch of {len(flight.pending.task[1])} trials exceeded "
+                    f"the {self.batch_deadline:g}s deadline; killing its "
+                    f"worker"))
+                self._fail(flight.pending,
+                           TimeoutError(f"batch exceeded deadline "
+                                        f"{self.batch_deadline:g}s"))
+            elif future.done():  # pickled exception: precise failure
+                self._fail(flight.pending, future.exception())
+            else:  # innocent bystander: reschedule without charge
+                self.queue.appendleft(flight.pending)
+        self.inflight.clear()
+        return self._respawn(pool, "hung-worker kill",
+                             TimeoutError("batch deadline exceeded"))
+
+    def _respawn(self, pool: ProcessPoolExecutor, why: str,
+                 exc: BaseException) -> ProcessPoolExecutor:
+        """Replace a dead/poisoned pool, against the respawn budget."""
+        _shutdown_pool(pool, kill=True)
+        self.respawns += 1
+        if self.respawns > self.max_respawns:
+            raise CampaignExecutionError(
+                f"worker pool failed {self.respawns} times (last: {why}: "
+                f"{exc}); respawn budget ({self.max_respawns}) exhausted",
+                store_path=self.store_path) from exc
+        self.events.append(
+            ("pool-respawn", f"respawn #{self.respawns} after {why}"))
+        return self.make_pool()
+
+
 def run_campaign(spec: CampaignSpec, *, seed: int = 0, max_workers: int = 1,
                  payload: str = "summary",
                  engine: str | None = None,
@@ -351,6 +859,10 @@ def run_campaign(spec: CampaignSpec, *, seed: int = 0, max_workers: int = 1,
                  store: CampaignStore | str | os.PathLike | None = None,
                  resume: bool = False,
                  shm: bool | None = None,
+                 max_retries: int = DEFAULT_MAX_RETRIES,
+                 batch_deadline: float | None = None,
+                 max_respawns: int = DEFAULT_MAX_RESPAWNS,
+                 fault_plan: "FaultPlan | str | None" = None,
                  ) -> CampaignResult:
     """Run a whole campaign, serially or across worker processes.
 
@@ -388,7 +900,8 @@ def run_campaign(spec: CampaignSpec, *, seed: int = 0, max_workers: int = 1,
         resume: Replay the checkpointed trials found in ``store`` instead
             of rejecting a non-empty store, then execute only the
             remainder.  Aggregates are bit-identical to an uninterrupted
-            run for any engine, batch size and worker count.
+            run for any engine, batch size and worker count.  Trials
+            quarantined by the interrupted run stay quarantined.
         shm: Shared-memory fast path: workers run batched lanes on a
             parent-owned shared state plane (so one cell's batch spans
             workers) and publish per-trial statistics as fixed-width
@@ -401,25 +914,51 @@ def run_campaign(spec: CampaignSpec, *, seed: int = 0, max_workers: int = 1,
             unavailable, the run is serial, or ``payload="full"`` — and
             per task when the ring/plane is momentarily exhausted.
             Results are bit-identical in every mode.
+        max_retries: How many times a failing trial is retried beyond its
+            first attempt before it is quarantined (recorded as a
+            :class:`~repro.campaign.faults.TrialFailure` and excluded
+            from the aggregates, which otherwise stay bit-identical to a
+            clean run).
+        batch_deadline: Seconds an in-flight batch may take before its
+            worker is declared hung and killed (pooled runs only;
+            ``None`` disables the watchdog).
+        max_respawns: How many pool respawns (worker crashes, hung-worker
+            kills) the run tolerates before aborting with
+            :class:`CampaignExecutionError`.
+        fault_plan: Deterministic fault-injection plan — a
+            :class:`~repro.campaign.faults.FaultPlan`, a plan string, or
+            ``None`` to defer to the ``REPRO_FAULT_PLAN`` environment
+            variable (the usual case: no faults).
 
     Returns:
         The ordered, aggregated :class:`CampaignResult`.
 
     Raises:
-        ValueError: If ``payload`` or ``max_workers`` is invalid.
+        ValueError: If ``payload``, ``max_workers``, ``max_retries``,
+            ``batch_deadline`` or ``max_respawns`` is invalid.
         CampaignStoreError: If ``store`` belongs to a different campaign,
             a different master seed or payload mode, or holds checkpoints
             while ``resume`` is false.
+        CampaignExecutionError: If the pool-respawn budget is exhausted.
     """
     if payload not in PAYLOAD_KINDS:
         raise ValueError(f"unknown payload kind {payload!r}")
     if max_workers < 1:
         raise ValueError("max_workers must be at least 1")
+    if max_retries < 0:
+        raise ValueError("max_retries must be non-negative")
+    if max_respawns < 0:
+        raise ValueError("max_respawns must be non-negative")
+    if batch_deadline is not None and batch_deadline <= 0:
+        raise ValueError("batch_deadline must be positive")
+    plan = resolve_fault_plan(fault_plan)
     resolved_engine = resolve_engine_kind(engine,
                                           default=DEFAULT_CAMPAIGN_ENGINE)
     runs = spec.expand(seed)
     summaries: List[TrialSummary | None] = [None] * len(runs)
     full: List[TrialResult | None] = [None] * len(runs)
+    quarantined: List[TrialFailure] = []
+    events: List[Tuple[str, str]] = []
     recovery = RecoveryStateMachine()
 
     own_store: CampaignStore | None = None
@@ -427,6 +966,22 @@ def run_campaign(spec: CampaignSpec, *, seed: int = 0, max_workers: int = 1,
         store_obj: CampaignStore | None = store
     else:
         store_obj = own_store = CampaignStore(store)
+    if store_obj is not None and plan is not None:
+        store_obj.set_fault_plan(plan)
+
+    def quarantine(pending: _Pending, exc: BaseException) -> None:
+        """Record a trial that exhausted its retry budget and move on."""
+        spec_index, runs_lite = pending.task
+        index, replicate, seed_value = runs_lite[0]
+        failure = TrialFailure(
+            trial_index=index, label=spec.trials[spec_index].label,
+            replicate=replicate, seed=seed_value,
+            attempts=pending.attempts[0], kind=type(exc).__name__,
+            message=str(exc) or type(exc).__name__)
+        if store_obj is not None:
+            store_obj.record_failure(failure)
+        quarantined.append(failure)
+        events.append(("quarantine", failure.describe()))
 
     session: shm_plane.ShmSession | None = None
     try:
@@ -446,6 +1001,12 @@ def run_campaign(spec: CampaignSpec, *, seed: int = 0, max_workers: int = 1,
                 if on_result is not None:
                     on_result(summary)
             done_indices = {index for index, _, _ in replayed}
+            for failure in store_obj.failures():
+                # A trial the interrupted run already gave up on stays
+                # quarantined: replaying its failure keeps resumed
+                # aggregates identical to the uninterrupted faulted run.
+                quarantined.append(failure)
+                done_indices.add(failure.trial_index)
             live_runs = [run for run in runs if run.index not in done_indices]
 
         batch = resolve_batch_size(batch_size, spec, max_workers,
@@ -499,72 +1060,101 @@ def run_campaign(spec: CampaignSpec, *, seed: int = 0, max_workers: int = 1,
         if tasks:
             recovery.advance(RecoveryStage.LIVE)
         if not pooled:
-            for task in tasks:
-                record(execute_batch(spec, task, payload, resolved_engine))
+            pending_q: Deque[_Pending] = deque(
+                _Pending(task, (0,) * len(task[1])) for task in tasks)
+            dispatch = 0
+            while pending_q:
+                pending = pending_q.popleft()
+                dispatch += 1
+                ctx = BatchContext(dispatch=dispatch,
+                                   attempts=pending.attempts)
+                try:
+                    outcome = execute_batch(spec, pending.task, payload,
+                                            resolved_engine, plan=plan,
+                                            ctx=ctx)
+                except Exception as exc:
+                    _handle_batch_failure(pending, exc,
+                                          max_retries=max_retries,
+                                          requeue=pending_q.appendleft,
+                                          quarantine=quarantine,
+                                          events=events)
+                    continue
+                record(outcome)
         else:
             workers = min(max_workers, len(tasks))
             window = workers * _INFLIGHT_PER_WORKER
+            cell_live: Dict[int, int] = {}
             if use_shm:
                 ring_capacity = max(batch, min(len(live_runs),
                                                (window + 1) * batch))
                 session = shm_plane.ShmSession(ring_capacity)
-                cell_live: Dict[int, int] = {}
                 for spec_index, runs_lite in tasks:
                     cell_live[spec_index] = (cell_live.get(spec_index, 0)
                                              + len(runs_lite))
 
-            def submit(pool, task):
-                ticket = token = None
-                if session is not None:
-                    spec_index, runs_lite = task
-                    count = len(runs_lite)
-                    want_plane = (resolved_engine == "batched" and count > 1
-                                  and payload != "full")
-                    if want_plane and session.plane(spec_index) is None:
-                        state_cols, cross_cols = _cell_plane_geometry(
-                            spec, spec_index)
-                        lanes = max(count, min(cell_live[spec_index],
-                                               (window + 1) * batch))
-                        session.ensure_plane(spec_index, lanes, state_cols,
-                                             cross_cols)
-                    ticket = session.acquire(spec_index, count, want_plane)
-                    if ticket is not None:
-                        token = ticket.token(session)
-                future = pool.submit(_execute_batch_in_worker, task, token)
-                inflight[future] = (task, ticket)
-                return future
+            def acquire(task: _BatchTask):
+                """Reserve shared-memory lanes/slots for one task, if any."""
+                if session is None:
+                    return None, None
+                spec_index, runs_lite = task
+                count = len(runs_lite)
+                want_plane = (resolved_engine == "batched" and count > 1
+                              and payload != "full")
+                if want_plane and session.plane(spec_index) is None:
+                    state_cols, cross_cols = _cell_plane_geometry(
+                        spec, spec_index)
+                    lanes = max(count, min(cell_live[spec_index],
+                                           (window + 1) * batch))
+                    session.ensure_plane(spec_index, lanes, state_cols,
+                                         cross_cols)
+                ticket = session.acquire(spec_index, count, want_plane)
+                if ticket is None:
+                    return None, None
+                return ticket, ticket.token(session)
 
-            def retire(future) -> None:
-                task, ticket = inflight.pop(future)
-                outcome = future.result()
+            def publish(task: _BatchTask, ticket, outcome) -> None:
+                """Checkpoint and aggregate one finished batch."""
                 if ticket is None:
                     record(outcome)
                 else:
                     record_shm(task, ticket, outcome)
 
-            with ProcessPoolExecutor(max_workers=workers,
-                                     initializer=_init_worker,
-                                     initargs=(spec, payload, resolved_engine),
-                                     ) as pool:
-                inflight: Dict[object, Tuple[_BatchTask, object]] = {}
-                pending = set()
-                queue = iter(tasks)
-                for task in queue:
-                    pending.add(submit(pool, task))
-                    if len(pending) < window:
-                        continue
-                    done, pending = wait(pending, return_when=FIRST_COMPLETED)
-                    for future in done:
-                        retire(future)
-                while pending:
-                    done, pending = wait(pending, return_when=FIRST_COMPLETED)
-                    for future in done:
-                        retire(future)
+            def release(ticket, count: int) -> None:
+                """Return an unconsumed shared-memory reservation."""
+                if ticket is not None and session is not None:
+                    session.release(ticket, count)
+
+            def make_pool() -> ProcessPoolExecutor:
+                """Spawn a fresh, fully initialized worker pool."""
+                return ProcessPoolExecutor(
+                    max_workers=workers, initializer=_init_worker,
+                    initargs=(spec, payload, resolved_engine, plan))
+
+            supervisor = _PoolSupervisor(
+                tasks=tasks, window=window, make_pool=make_pool,
+                acquire=acquire, publish=publish, release=release,
+                quarantine=quarantine, events=events,
+                max_retries=max_retries, batch_deadline=batch_deadline,
+                max_respawns=max_respawns,
+                store_path=(str(store_obj.path)
+                            if store_obj is not None else None))
+            supervisor.run()
 
         wall_time = time.perf_counter() - started
-        if any(s is None for s in summaries):
+        missing = {run.index for run in runs if summaries[run.index] is None}
+        if missing != {failure.trial_index for failure in quarantined}:
             raise RuntimeError(
                 "campaign lost trials: not every run reported back")
+        if session is not None and session.fallbacks:
+            events.append((
+                "shm-fallback",
+                f"{session.fallbacks} task(s) fell back to the pickled "
+                f"results path (ring/plane momentarily exhausted)"))
+        if store_obj is not None and store_obj.commit_retries:
+            events.append((
+                "store-retry",
+                f"{store_obj.commit_retries} checkpoint commit(s) retried "
+                f"after transient sqlite lock/busy errors"))
         if store_obj is not None:
             store_obj.mark_complete()
         recovery.advance(RecoveryStage.COMPLETE)
@@ -581,7 +1171,11 @@ def run_campaign(spec: CampaignSpec, *, seed: int = 0, max_workers: int = 1,
         master_seed=seed,
         workers=max_workers,
         wall_time=wall_time,
-        summaries=tuple(summaries),
-        results=tuple(full) if payload != "summary" else None,
+        summaries=tuple(s for s in summaries if s is not None),
+        results=(tuple(full[i] for i, s in enumerate(summaries)
+                       if s is not None)
+                 if payload != "summary" else None),
         replayed_trials=replayed_count,
+        quarantined=tuple(quarantined),
+        recovery_events=tuple(events),
     )

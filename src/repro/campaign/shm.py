@@ -497,6 +497,10 @@ class ShmSession:
         self._planes: Dict[int, Tuple[StatePlane, _RangeAllocator]] = {}
         self._generation = 0
         self._closed = False
+        #: Tasks that fell back to the pickled path because the ring or a
+        #: plane was momentarily exhausted (observability: the executor
+        #: surfaces this as an ``shm-fallback`` recovery event).
+        self.fallbacks = 0
 
     def plane(self, spec_index: int) -> Optional[StatePlane]:
         entry = self._planes.get(spec_index)
@@ -523,6 +527,7 @@ class ShmSession:
         """
         ring_start = self._ring_alloc.allocate(count)
         if ring_start is None:
+            self.fallbacks += 1
             return None
         lane_start = 0
         if want_plane:
@@ -533,6 +538,7 @@ class ShmSession:
             lane_start = entry[1].allocate(count)
             if lane_start is None:
                 self._ring_alloc.free(ring_start, count)
+                self.fallbacks += 1
                 return None
         self._generation += 1
         return PlaneTicket(spec_index if want_plane else -1, lane_start,

@@ -56,11 +56,14 @@ import enum
 import hashlib
 import json
 import os
+import pathlib
 import pickle
 import sqlite3
-from typing import TYPE_CHECKING, List, Optional, Tuple
+import time
+from typing import TYPE_CHECKING, Callable, List, Optional, Tuple
 
 from repro.campaign.aggregate import SUMMARY_RECORD_FIELDS, TrialSummary
+from repro.campaign.faults import FaultPlan, TrialFailure
 
 if TYPE_CHECKING:  # pragma: no cover - typing-only imports
     import numpy as np
@@ -72,8 +75,20 @@ if TYPE_CHECKING:  # pragma: no cover - typing-only imports
 #: Version 2 replaced the JSON-encoded summary column with one plain
 #: numeric column per :data:`~repro.campaign.aggregate.SUMMARY_RECORD_FIELDS`
 #: field (plus ``label``), eliminating the double-encode on the hot path
-#: and letting the shared results ring feed commits directly.
-SCHEMA_VERSION = 2
+#: and letting the shared results ring feed commits directly.  Version 3
+#: added the ``failures`` table recording quarantined (permanently failed)
+#: trials, so a self-healed campaign documents exactly what it lost.
+SCHEMA_VERSION = 3
+
+#: Bounded exponential backoff applied to commits that hit a transient
+#: ``sqlite3.OperationalError`` ("database is locked" / "database is
+#: busy", e.g. a concurrent ``--status`` reader on a filesystem without
+#: POSIX locks): up to ``_COMMIT_RETRY_ATTEMPTS`` tries, sleeping
+#: ``_COMMIT_RETRY_BASE * 2**n`` seconds between them, capped at
+#: ``_COMMIT_RETRY_CAP``.  Non-transient errors re-raise immediately.
+_COMMIT_RETRY_ATTEMPTS = 6
+_COMMIT_RETRY_BASE = 0.05
+_COMMIT_RETRY_CAP = 1.0
 
 #: sqlite column type per record-field kind (REAL round-trips IEEE doubles
 #: exactly, so numeric columns lose nothing over the old JSON encoding).
@@ -223,6 +238,7 @@ class CheckpointStatus:
     total_trials: int
     checkpointed: int
     complete: bool
+    quarantined: int = 0
 
     @property
     def stage(self) -> RecoveryStage:
@@ -242,12 +258,15 @@ class CheckpointStatus:
         state = ("complete" if self.complete
                  else f"in progress ({self.checkpointed}/{self.total_trials} "
                       f"trials checkpointed)")
-        return (f"campaign:     {self.name}\n"
-                f"state:        {state}\n"
-                f"resume stage: {self.stage.value}\n"
-                f"master seed:  {self.master_seed}\n"
-                f"payload:      {self.payload}\n"
-                f"fingerprint:  {self.fingerprint}")
+        lines = [f"campaign:     {self.name}",
+                 f"state:        {state}",
+                 f"resume stage: {self.stage.value}",
+                 f"master seed:  {self.master_seed}",
+                 f"payload:      {self.payload}",
+                 f"fingerprint:  {self.fingerprint}"]
+        if self.quarantined:
+            lines.insert(2, f"quarantined:  {self.quarantined} trial(s)")
+        return "\n".join(lines)
 
 
 class CampaignStore:
@@ -273,31 +292,116 @@ class CampaignStore:
         store.close()
     """
 
-    def __init__(self, path: str | os.PathLike) -> None:
+    def __init__(self, path: str | os.PathLike, *, read_only: bool = False,
+                 fault_plan: "FaultPlan | None" = None) -> None:
         """Open (creating if necessary) the store database at ``path``.
+
+        Writable stores run in WAL journal mode with a 5-second
+        ``busy_timeout``, so a writer and a concurrent ``--status`` reader
+        coexist instead of racing into "database is locked"; commits that
+        still hit a transient lock retry with bounded exponential backoff
+        (observable via :attr:`commit_retries`).
 
         Args:
             path: Filesystem path of the sqlite database.  Parent
                 directories must exist.
+            read_only: Open the database read-only (sqlite URI
+                ``mode=ro``) — the right mode for status queries against
+                a live run: the reader can never take a write lock, never
+                creates the file, and never touches the schema.
+            fault_plan: Optional deterministic fault plan whose ``lock``
+                clauses inject transient ``OperationalError`` failures
+                into commits (test/chaos harness; see
+                :mod:`repro.campaign.faults`).
+
+        Raises:
+            CampaignStoreError: If ``read_only`` is requested for a path
+                that does not exist.
         """
         self.path = os.fspath(path)
-        self._conn = sqlite3.connect(self.path)
-        summary_cols = ", ".join(
-            f"{name} {_SQL_TYPE[kind]} NOT NULL"
-            for name, kind in SUMMARY_RECORD_FIELDS)
-        with self._conn:
-            self._conn.execute(
-                "CREATE TABLE IF NOT EXISTS meta ("
-                " key TEXT PRIMARY KEY, value TEXT NOT NULL)")
-            self._conn.execute(
-                "CREATE TABLE IF NOT EXISTS trials ("
-                " trial_index INTEGER PRIMARY KEY,"
-                " label TEXT NOT NULL,"
-                f" {summary_cols},"
-                " result BLOB)")
+        self.read_only = bool(read_only)
+        self._fault_plan = fault_plan
+        #: Transient-lock retries performed by this store's commits (an
+        #: observability counter; the executor reports it as an event).
+        self.commit_retries = 0
+        self._commit_seq = 0
+        if read_only:
+            if not os.path.exists(self.path):
+                raise CampaignStoreError(
+                    f"{self.path}: no checkpoint store at this path")
+            uri = pathlib.Path(self.path).resolve().as_uri() + "?mode=ro"
+            self._conn = sqlite3.connect(uri, uri=True)
+        else:
+            self._conn = sqlite3.connect(self.path)
+            self._conn.execute("PRAGMA busy_timeout = 5000")
+            self._conn.execute("PRAGMA journal_mode = WAL")
+            summary_cols = ", ".join(
+                f"{name} {_SQL_TYPE[kind]} NOT NULL"
+                for name, kind in SUMMARY_RECORD_FIELDS)
+            with self._conn:
+                self._conn.execute(
+                    "CREATE TABLE IF NOT EXISTS meta ("
+                    " key TEXT PRIMARY KEY, value TEXT NOT NULL)")
+                self._conn.execute(
+                    "CREATE TABLE IF NOT EXISTS trials ("
+                    " trial_index INTEGER PRIMARY KEY,"
+                    " label TEXT NOT NULL,"
+                    f" {summary_cols},"
+                    " result BLOB)")
+                self._conn.execute(
+                    "CREATE TABLE IF NOT EXISTS failures ("
+                    " trial_index INTEGER PRIMARY KEY,"
+                    " label TEXT NOT NULL,"
+                    " replicate INTEGER NOT NULL,"
+                    " seed INTEGER NOT NULL,"
+                    " attempts INTEGER NOT NULL,"
+                    " kind TEXT NOT NULL,"
+                    " message TEXT NOT NULL)")
         self._commits = 0
         crash_after = os.environ.get(CRASH_ENV_VAR)
         self._crash_after = int(crash_after) if crash_after else None
+
+    def set_fault_plan(self, plan: "FaultPlan | None") -> None:
+        """Attach (or clear) the fault plan driving ``lock`` injections."""
+        self._fault_plan = plan
+
+    def _commit(self, operation: Callable[[], None], what: str) -> None:
+        """Run one commit with bounded backoff on transient lock errors.
+
+        Args:
+            operation: Zero-argument callable performing the transaction.
+            what: Short description of the commit, for error messages.
+
+        Raises:
+            CampaignStoreError: When the database is still locked after
+                the retry budget is exhausted.
+            sqlite3.OperationalError: Re-raised unchanged for
+                non-transient operational errors.
+        """
+        self._commit_seq += 1
+        commit_number = self._commit_seq
+        attempt = 0
+        while True:
+            try:
+                if (self._fault_plan is not None
+                        and self._fault_plan.lock_commit(commit_number,
+                                                         attempt)):
+                    raise sqlite3.OperationalError(
+                        "database is locked (injected)")
+                operation()
+                return
+            except sqlite3.OperationalError as exc:
+                text = str(exc)
+                if "locked" not in text and "busy" not in text:
+                    raise
+                attempt += 1
+                if attempt >= _COMMIT_RETRY_ATTEMPTS:
+                    raise CampaignStoreError(
+                        f"{self.path}: {what} still failing after "
+                        f"{attempt} attempts: {exc}") from exc
+                self.commit_retries += 1
+                time.sleep(min(_COMMIT_RETRY_CAP,
+                               _COMMIT_RETRY_BASE * 2 ** (attempt - 1)))
 
     # -- metadata ----------------------------------------------------------
 
@@ -308,10 +412,12 @@ class CampaignStore:
 
     def _write_meta(self, meta: dict) -> None:
         """Replace the meta table contents with ``meta`` in one transaction."""
-        with self._conn:
-            self._conn.executemany(
-                "INSERT OR REPLACE INTO meta (key, value) VALUES (?, ?)",
-                [(key, str(value)) for key, value in meta.items()])
+        def operation() -> None:
+            with self._conn:
+                self._conn.executemany(
+                    "INSERT OR REPLACE INTO meta (key, value) VALUES (?, ?)",
+                    [(key, str(value)) for key, value in meta.items()])
+        self._commit(operation, "meta commit")
 
     def checkpointed_count(self) -> int:
         """Return how many trials have durable checkpoints."""
@@ -341,6 +447,7 @@ class CampaignStore:
             total_trials=int(meta.get("total_trials", -1)),
             checkpointed=self.checkpointed_count(),
             complete=meta.get("complete") == "1",
+            quarantined=len(self.failures()),
         )
 
     # -- lifecycle ---------------------------------------------------------
@@ -373,6 +480,10 @@ class CampaignStore:
                 different payload mode or schema version, or holds
                 checkpoints and ``resume`` was not requested.
         """
+        if self.read_only:
+            raise CampaignStoreError(
+                f"{self.path}: store was opened read-only (status mode); "
+                f"it cannot be bound to a campaign run")
         fingerprint = spec_fingerprint(spec, master_seed)
         meta = self._read_meta()
         if not meta:
@@ -479,23 +590,66 @@ class CampaignStore:
         """Commit prepared trial rows atomically, then run the crash hook."""
         columns = ", ".join(_SUMMARY_COLUMNS)
         placeholders = ", ".join("?" * (len(_SUMMARY_COLUMNS) + 3))
-        with self._conn:
-            self._conn.executemany(
-                f"INSERT OR REPLACE INTO trials "
-                f"(trial_index, label, {columns}, result) "
-                f"VALUES ({placeholders})", rows)
+
+        def operation() -> None:
+            with self._conn:
+                self._conn.executemany(
+                    f"INSERT OR REPLACE INTO trials "
+                    f"(trial_index, label, {columns}, result) "
+                    f"VALUES ({placeholders})", rows)
+        self._commit(operation, "checkpoint commit")
         self._commits += 1
         if self._crash_after is not None and self._commits >= self._crash_after:
             # Crash-injection harness: die the hard way (no cleanup, no
             # atexit, nothing flushed) right after a durable commit.
             os._exit(CRASH_EXIT_CODE)
 
+    def record_failure(self, failure: TrialFailure) -> None:
+        """Durably record one quarantined trial in the ``failures`` table.
+
+        Args:
+            failure: The structured failure row; keyed by trial index, so
+                re-recording after a resume is idempotent.
+        """
+        def operation() -> None:
+            with self._conn:
+                self._conn.execute(
+                    "INSERT OR REPLACE INTO failures "
+                    "(trial_index, label, replicate, seed, attempts, kind,"
+                    " message) VALUES (?, ?, ?, ?, ?, ?, ?)",
+                    (int(failure.trial_index), failure.label,
+                     int(failure.replicate), int(failure.seed),
+                     int(failure.attempts), failure.kind, failure.message))
+        self._commit(operation, "failure-row commit")
+
+    def failures(self) -> List[TrialFailure]:
+        """Return the quarantined-trial rows, ordered by trial index.
+
+        Returns:
+            The recorded :class:`~repro.campaign.faults.TrialFailure`
+            rows; empty for stores without a ``failures`` table (e.g. a
+            read-only view of a pre-v3 database).
+        """
+        try:
+            rows = self._conn.execute(
+                "SELECT trial_index, label, replicate, seed, attempts, kind,"
+                " message FROM failures ORDER BY trial_index").fetchall()
+        except sqlite3.OperationalError:
+            return []
+        return [TrialFailure(trial_index=int(row[0]), label=row[1],
+                             replicate=int(row[2]), seed=int(row[3]),
+                             attempts=int(row[4]), kind=row[5],
+                             message=row[6])
+                for row in rows]
+
     def mark_complete(self) -> None:
-        """Record that every trial of the campaign has been checkpointed."""
-        with self._conn:
-            self._conn.execute(
-                "INSERT OR REPLACE INTO meta (key, value) VALUES "
-                "('complete', '1')")
+        """Record that every runnable trial of the campaign is checkpointed."""
+        def operation() -> None:
+            with self._conn:
+                self._conn.execute(
+                    "INSERT OR REPLACE INTO meta (key, value) VALUES "
+                    "('complete', '1')")
+        self._commit(operation, "completion commit")
 
     def close(self) -> None:
         """Close the underlying sqlite connection."""

@@ -255,7 +255,8 @@ def run_trial(config: CaseStudyConfig, *, with_lease: bool = True,
               extra_processes: Sequence[EnvironmentProcess] = (),
               keep_trace: bool = False,
               record_variables: Sequence[tuple[str, str]] = (),
-              engine: str | None = None) -> TrialResult:
+              engine: str | None = None,
+              fault=None) -> TrialResult:
     """Run one emulation trial and collect the Table I statistics.
 
     By default the statistics stream through a
@@ -279,6 +280,12 @@ def run_trial(config: CaseStudyConfig, *, with_lease: bool = True,
         engine: Simulation kernel (``"reference"`` / ``"compiled"`` /
             ``"batched"``); ``None`` defers to the ``REPRO_ENGINE``
             environment variable and then to the reference kernel.
+        fault: Optional zero-argument fault hook, invoked once after the
+            trial's system is assembled and before the engine runs.  The
+            campaign fault-injection harness uses it to raise a
+            deterministic in-trial failure
+            (:class:`repro.campaign.faults.InjectedTrialFault`); ``None``
+            (the default, and every production path) is a no-op.
 
     Returns:
         The trial's :class:`TrialResult`.
@@ -302,6 +309,8 @@ def run_trial(config: CaseStudyConfig, *, with_lease: bool = True,
             extra_processes=list(extra_processes), lowered=lowered)
     sampled = list(record_variables) or [(PATIENT, SPO2)]
     surgeon_process = case.surgeon
+    if fault is not None:
+        fault()
 
     if not keep_trace:
         stats = TrialStatsObserver(config)
@@ -364,7 +373,7 @@ def run_trial_batch(config: CaseStudyConfig, *, with_lease: bool = True,
                     seeds: Sequence[int], duration: float | None = None,
                     channel_builder=None, surgeon_builder=None,
                     record_variables: Sequence[tuple[str, str]] = (),
-                    buffers=None) -> List[TrialResult]:
+                    buffers=None, fault=None) -> List[TrialResult]:
     """Run one batch of replicate trials in vectorized lockstep.
 
     The campaign counterpart of :func:`run_trial`: all trials share one
@@ -393,6 +402,11 @@ def run_trial_batch(config: CaseStudyConfig, *, with_lease: bool = True,
             :meth:`repro.campaign.shm.StatePlane.buffers`) for the engine
             to run on; ``None`` keeps the engine's private allocations.
             Results are bit-identical either way.
+        fault: Optional per-lane fault hook ``fault(offset)``, invoked
+            with each lane's position before the batch engine is built.
+            Raising aborts the whole batch — by design: the campaign
+            supervisor then bisects the batch to isolate the poisoned
+            trial.  ``None`` (the default) is a no-op.
 
     Returns:
         One :class:`TrialResult` per seed, in seed order.
@@ -404,7 +418,9 @@ def run_trial_batch(config: CaseStudyConfig, *, with_lease: bool = True,
     stats_list: List[TrialStatsObserver] = []
     networks: List[SinkWirelessNetwork] = []
     surgeons: List[SurgeonProcess] = []
-    for seed in seeds:
+    for offset, seed in enumerate(seeds):
+        if fault is not None:
+            fault(offset)
         channel = channel_builder(seed) if channel_builder is not None else None
         network = _trial_network(config, channel, seed)
         surgeon = _trial_surgeon(

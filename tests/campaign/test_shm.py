@@ -291,18 +291,20 @@ class TestCampaignEquivalence:
 
 class TestCrashCleanup:
     def test_sigkilled_worker_leaks_no_segments(self, no_new_segments):
-        # Run the campaign in a subprocess whose first worker task SIGKILLs
-        # its worker: the parent must fail loudly and unlink every segment.
+        # Run the campaign in a subprocess where *every* worker SIGKILLs
+        # itself on its first task: the supervisor retries until its
+        # respawn budget is exhausted, and the parent must still fail
+        # loudly and unlink every segment.
         env = _subprocess_env(**{CRASH_WORKER_ENV_VAR: "1"})
         code = (
-            "from concurrent.futures.process import BrokenProcessPool\n"
+            "from repro.campaign import CampaignExecutionError\n"
             "from repro.campaign import run_campaign, table1_spec\n"
             "spec = table1_spec(mean_toffs=(18.0,), replicates=8,\n"
             "                   duration=120.0, legacy_seed=None)\n"
             "try:\n"
             "    run_campaign(spec, seed=7, max_workers=2, engine='batched',\n"
-            "                 batch_size=4, shm=True)\n"
-            "except BrokenProcessPool:\n"
+            "                 batch_size=4, shm=True, max_respawns=1)\n"
+            "except CampaignExecutionError:\n"
             "    raise SystemExit(86)\n"
             "raise SystemExit(1)\n")
         proc = subprocess.run(
