@@ -22,6 +22,14 @@ Examples::
     python -m repro.campaign --experiment table1 --replicates 1000 \
         --workers 8 --store table1.db --resume
     python -m repro.campaign --store table1.db --status
+    python -m repro.campaign --store table1.db --status --json
+
+    # Service mode: a first positional subcommand routes to the campaign
+    # job server (see docs/service.md).  The flag-only one-shot
+    # invocations above are unchanged.
+    python -m repro.campaign serve --socket /tmp/repro.sock --stores-dir jobs/
+    python -m repro.campaign submit --socket /tmp/repro.sock --preset table1
+    python -m repro.campaign watch --socket /tmp/repro.sock JOB
 
     # Chaos drill: kill the worker of batch 2, hang batch 3 past the
     # 10-second deadline, and poison trial 5 -- the supervisor respawns
@@ -56,6 +64,7 @@ from repro.campaign.executor import (PAYLOAD_KINDS, CampaignExecutionError,
                                      default_worker_count, run_campaign)
 from repro.campaign.faults import FaultPlanError, resolve_fault_plan
 from repro.campaign.presets import PRESETS
+from repro.campaign.service.client import SERVICE_COMMANDS, service_main
 from repro.campaign.spec import CampaignSpec
 from repro.campaign.store import CampaignStore, CampaignStoreError
 from repro.hybrid.simulate import ENGINE_ENV_VAR, ENGINE_KINDS
@@ -84,7 +93,8 @@ def build_parser() -> argparse.ArgumentParser:
         description=__doc__,
         epilog=f"experiments:\n{preset_lines}",
     )
-    parser.add_argument("--experiment", choices=sorted(PRESETS), default="table1",
+    parser.add_argument("--experiment", "--preset", dest="experiment",
+                        choices=sorted(PRESETS), default="table1",
                         help="campaign preset to run (default: table1)")
     parser.add_argument("--replicates", type=int, default=1, metavar="N",
                         help="independent trials per sweep cell (default: 1)")
@@ -167,8 +177,13 @@ def build_parser() -> argparse.ArgumentParser:
                              "'crash@batch=2;raise@trial=5' (see "
                              "repro.campaign.faults; default: the "
                              "REPRO_FAULT_PLAN environment variable)")
-    parser.add_argument("--json", default=None, metavar="PATH",
-                        help="write the full campaign result as JSON")
+    parser.add_argument("--json", nargs="?", const="-", default=None,
+                        metavar="PATH",
+                        help="write the full campaign result as JSON "
+                             "(omit PATH, or pass '-', for stdout); with "
+                             "--status, print the store's CheckpointStatus "
+                             "as JSON — the same schema the service's "
+                             "status response embeds")
     parser.add_argument("--quiet", action="store_true",
                         help="suppress per-trial progress lines")
     return parser
@@ -207,6 +222,11 @@ def build_spec(args: argparse.Namespace) -> CampaignSpec:
         if args.duration is not None:
             kwargs["duration"] = args.duration
         return PRESETS[name].build(**kwargs)
+    if name == "interlock":
+        kwargs = {"replicates": args.replicates}
+        if args.duration is not None:
+            kwargs["horizon"] = args.duration
+        return PRESETS[name].build(**kwargs)
     # scenarios: deterministic, ignores replicates (every trial is scripted).
     kwargs = {}
     if args.duration is not None:
@@ -243,6 +263,9 @@ def main(argv: Sequence[str] | None = None) -> int:
         mismatches and malformed fault plans), 3 when the recovery budget
         is exhausted, ``128 + signum`` on SIGINT/SIGTERM.
     """
+    argv_list = list(sys.argv[1:] if argv is None else argv)
+    if argv_list and argv_list[0] in SERVICE_COMMANDS:
+        return service_main(argv_list)
     args = build_parser().parse_args(argv)
     if args.replicates < 1:
         print("error: --replicates must be at least 1", file=sys.stderr)
@@ -282,7 +305,21 @@ def main(argv: Sequence[str] | None = None) -> int:
         except CampaignStoreError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
-        if status is None:
+        if args.json is not None:
+            body = status.to_json() if status is not None else None
+            text = json.dumps({"store": args.store, "status": body},
+                              indent=2, sort_keys=True)
+            if args.json == "-":
+                print(text)
+            else:
+                try:
+                    with open(args.json, "w", encoding="utf-8") as handle:
+                        handle.write(text + "\n")
+                except OSError as exc:
+                    print(f"error: cannot write {args.json}: {exc}",
+                          file=sys.stderr)
+                    return 2
+        elif status is None:
             print(f"{args.store}: empty store (no campaign bound yet)")
         else:
             print(status.describe())
@@ -387,12 +424,16 @@ def main(argv: Sequence[str] | None = None) -> int:
             "headers": list(result.headers),
             "rows": [list(row) for row in result.rows],
         }
-        try:
-            with open(args.json, "w", encoding="utf-8") as handle:
-                json.dump(payload, handle, indent=2, sort_keys=True)
-        except OSError as exc:
-            print(f"error: cannot write {args.json}: {exc}", file=sys.stderr)
-            return 2
-        print(f"wrote {args.json}")
+        if args.json == "-":
+            print(json.dumps(payload, indent=2, sort_keys=True))
+        else:
+            try:
+                with open(args.json, "w", encoding="utf-8") as handle:
+                    json.dump(payload, handle, indent=2, sort_keys=True)
+            except OSError as exc:
+                print(f"error: cannot write {args.json}: {exc}",
+                      file=sys.stderr)
+                return 2
+            print(f"wrote {args.json}")
 
     return 0 if result.passed else 1

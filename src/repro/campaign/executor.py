@@ -53,13 +53,24 @@ aggregates of a faulted-but-recovered run are bit-identical to a clean
 serial reference (minus quarantined trials, which are reported, not
 silently dropped).  Deterministic fault injection for all of these paths
 lives in :mod:`repro.campaign.faults`.
+
+**Service mode** (:mod:`repro.campaign.server`) runs many campaigns on one
+warm :class:`CampaignPool`: ``run_campaign(pool=...)`` executes on the
+externally owned pool without tearing it down, ``stop=`` gives the caller
+a cooperative cancel (:class:`CampaignCancelled`, resumable store), and
+``on_event=`` streams recovery events live instead of only on the final
+result.  Results are bit-identical to a dedicated-pool run.
 """
 
 from __future__ import annotations
 
 import dataclasses
 import os
+import pickle
+import shutil
 import signal
+import tempfile
+import threading
 import time
 from collections import deque
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
@@ -140,6 +151,11 @@ _BatchTask = Tuple[int, Tuple[Tuple[int, int, int], ...]]
 #: Worker-process state installed by :func:`_init_worker`.
 _WORKER_CTX: tuple | None = None
 
+#: The default trial runner: the paper's laser-tracheotomy case study.
+#: :class:`~repro.campaign.spec.TrialSpec.runner` selects alternates from
+#: :func:`_resolve_trial_runner`'s registry (e.g. ``"interlock"``).
+TRIAL_RUNNER_DEFAULT = "tracheotomy"
+
 
 class CampaignExecutionError(RuntimeError):
     """A campaign aborted after exhausting its recovery budget.
@@ -189,6 +205,58 @@ class CampaignInterrupted(BaseException):
         """
         super().__init__(f"campaign interrupted by signal {signum}")
         self.signum = signum
+
+
+class CampaignCancelled(BaseException):
+    """A campaign was cancelled cooperatively through its ``stop`` callable.
+
+    The campaign service's ``cancel``/``shutdown`` operations request this
+    by flipping a flag the executor polls between batches.  Like
+    :class:`CampaignInterrupted` it derives from :class:`BaseException` so
+    no recovery path in the supervisor can swallow it: a cancel always
+    unwinds through ``run_campaign``'s cleanup (which flushes the
+    checkpoint store and unlinks shared memory) out to the caller, who
+    owns the cancelled-job bookkeeping.  An attached store keeps every
+    batch retired before the cancel, so a cancelled job is resumable.
+    """
+
+    def __init__(self, reason: str = "campaign cancelled"):
+        """Record why the run was cancelled.
+
+        Args:
+            reason: Human-readable cancellation reason.
+        """
+        super().__init__(reason)
+        self.reason = reason
+
+
+class _EventLog(list):
+    """Recovery-event list that additionally streams appends to a callback.
+
+    ``run_campaign(..., on_event=...)`` swaps this in for the plain event
+    list so the campaign service can fan recovery events out to ``watch``
+    subscribers *as they happen* instead of after the run returns.
+    """
+
+    def __init__(self, callback: Callable[[str, str], None] | None = None):
+        """Wrap an empty event list around an optional streaming callback.
+
+        Args:
+            callback: Invoked as ``callback(kind, detail)`` on every
+                append; ``None`` degrades to a plain list.
+        """
+        super().__init__()
+        self._callback = callback
+
+    def append(self, event: Tuple[str, str]) -> None:
+        """Record one ``(kind, detail)`` event and stream it onward.
+
+        Args:
+            event: The recovery event being logged.
+        """
+        super().append(event)
+        if self._callback is not None:
+            self._callback(*event)
 
 
 @dataclasses.dataclass(frozen=True)
@@ -269,6 +337,30 @@ def min_lockstep_lanes() -> int:
     return value
 
 
+def _resolve_trial_runner(name: str) -> Callable[..., TrialResult]:
+    """Look an alternate trial runner up by its registry name.
+
+    Runners are resolved lazily (imported on first use inside the worker)
+    so campaigns that never leave the default case study pay nothing.
+
+    Args:
+        name: The :class:`~repro.campaign.spec.TrialSpec.runner` value.
+
+    Returns:
+        A callable with the keyword signature ``(with_lease, seed,
+        duration, engine, fault)`` returning a
+        :class:`~repro.casestudy.emulation.TrialResult`.
+
+    Raises:
+        ValueError: If no runner is registered under ``name``.
+    """
+    if name == "interlock":
+        from repro.casestudy.interlock import run_interlock_trial
+
+        return run_interlock_trial
+    raise ValueError(f"unknown trial runner {name!r}")
+
+
 def execute_trial(config: CaseStudyConfig, campaign_duration: float | None,
                   run: TrialRun, payload: str = "summary",
                   engine: str | None = None,
@@ -296,8 +388,14 @@ def execute_trial(config: CaseStudyConfig, campaign_duration: float | None,
     if payload not in PAYLOAD_KINDS:
         raise ValueError(f"unknown payload kind {payload!r}")
     spec = run.spec
-    trial_config = spec.configure(config)
     duration = spec.duration if spec.duration is not None else campaign_duration
+    if spec.runner != TRIAL_RUNNER_DEFAULT:
+        runner = _resolve_trial_runner(spec.runner)
+        result = runner(with_lease=spec.with_lease, seed=run.seed,
+                        duration=duration, engine=engine, fault=fault)
+        summary = TrialSummary.from_trial(run, result)
+        return run.index, summary, (result if payload != "summary" else None)
+    trial_config = spec.configure(config)
     channel = spec.channel.build(run.seed)
     surgeon = spec.surgeon.build() if spec.surgeon is not None else None
     result = run_trial(trial_config, with_lease=spec.with_lease, seed=run.seed,
@@ -371,7 +469,8 @@ def execute_batch(spec: CampaignSpec, task: _BatchTask, payload: str,
     spec_index, runs_lite = task
     trial = spec.trials[spec_index]
     fault_for = _batch_fault_hook(plan, ctx, runs_lite)
-    if engine == "batched" and len(runs_lite) > 1 and payload != "full":
+    if (engine == "batched" and len(runs_lite) > 1 and payload != "full"
+            and trial.runner == TRIAL_RUNNER_DEFAULT):
         trial_config = trial.configure(spec.config)
         duration = trial.duration if trial.duration is not None else spec.duration
         seeds = [seed for _, _, seed in runs_lite]
@@ -473,6 +572,238 @@ def _execute_batch_in_worker(task: _BatchTask,
     if payload == "summary":
         return len(results), None
     return len(results), [result for _, _, result in results]
+
+
+#: Per-worker cache of service-job contexts, keyed by job token.  The
+#: shared pool serves one job at a time, so loading a new job's context
+#: evicts the previous one (and with it the old spec's lowered-model
+#: cache keys go cold naturally).
+_SERVICE_CTX: Dict[int, tuple] = {}
+
+
+def _watch_parent(parent_pid: int) -> None:
+    """Kill this worker the moment its service parent disappears.
+
+    Shared-pool workers outlive individual campaigns, so a SIGKILLed
+    service daemon would otherwise leave them orphaned forever, blocked on
+    the pool's call queue.  Polling the parent pid is cheap, portable and
+    exactly as prompt as the 1-second period.
+
+    Args:
+        parent_pid: The pid of the process that owns the pool.
+    """
+    while True:
+        if os.getppid() != parent_pid:
+            os._exit(0)
+        time.sleep(1.0)
+
+
+def _init_service_worker(parent_pid: int) -> None:
+    """Pool initializer of the shared service pool (job-agnostic).
+
+    Unlike :func:`_init_worker` this receives no campaign context — jobs
+    arrive later, each shipping its context once through a spool file (see
+    :meth:`CampaignPool.lease`) — so one warm pool serves many campaigns
+    without respawning.
+
+    Args:
+        parent_pid: Pid of the pool-owning service process, watched so a
+            hard-killed daemon never leaks worker processes.
+    """
+    global _WORKER_CTX
+    _WORKER_CTX = None
+    threading.Thread(target=_watch_parent, args=(parent_pid,),
+                     daemon=True).start()
+
+
+def _load_service_ctx(ctx_ref: Tuple[int, str]) -> tuple:
+    """Load (and cache) one service job's worker context.
+
+    Args:
+        ctx_ref: ``(job_token, spool_path)`` naming the pickled
+            ``(spec, payload, engine, plan)`` tuple of the job.
+
+    Returns:
+        The job's worker-context tuple.
+    """
+    token, path = ctx_ref
+    ctx = _SERVICE_CTX.get(token)
+    if ctx is None:
+        with open(path, "rb") as handle:
+            ctx = pickle.load(handle)
+        _SERVICE_CTX.clear()
+        _SERVICE_CTX[token] = ctx
+    return ctx
+
+
+def _run_service_batch(ctx_ref: Tuple[int, str], task: _BatchTask,
+                       token: "shm_plane.ShmToken | None" = None,
+                       ctx: BatchContext | None = None):
+    """Task entry point on the shared service pool.
+
+    Installs the job's context (loaded once per worker per job, then
+    cached by token) and delegates to :func:`_execute_batch_in_worker`, so
+    the execution semantics — shared-memory path, fault injection, crash
+    harness — are identical to a dedicated pool's.
+
+    Args:
+        ctx_ref: The job-context reference (token + spool path).
+        task: The batch to execute.
+        token: Optional shared-memory reservation of the batch.
+        ctx: Dispatch context used by the fault plan's injection points.
+    """
+    global _WORKER_CTX
+    _WORKER_CTX = _load_service_ctx(ctx_ref)
+    return _execute_batch_in_worker(task, token, ctx)
+
+
+class CampaignPool:
+    """A warm worker pool shared by consecutive campaign runs.
+
+    The campaign service holds exactly one of these: every queued job
+    executes on the same worker processes (``run_campaign(pool=...)``), so
+    jobs after the first skip process spin-up entirely and inherit warm
+    per-process lowered-model caches.  Per-job context travels through a
+    pickled spool file that each worker loads lazily on its first batch of
+    the job — the pool itself is job-agnostic and never restarts between
+    jobs.
+
+    The executor's self-healing paths keep working: when the supervisor
+    kills a broken/hung pool, the job's lease transparently respawns the
+    shared executor, and subsequent jobs use the replacement.
+    """
+
+    def __init__(self, max_workers: int):
+        """Create the pool shell (workers spawn on first use).
+
+        Args:
+            max_workers: Worker-process count of the shared pool.
+
+        Raises:
+            ValueError: If ``max_workers`` is not positive.
+        """
+        if max_workers < 1:
+            raise ValueError("max_workers must be at least 1")
+        self.max_workers = int(max_workers)
+        self._executor: ProcessPoolExecutor | None = None
+        self._spool = tempfile.mkdtemp(prefix="repro-pool-")
+        self._job_seq = 0
+
+    def worker_pids(self) -> Tuple[int, ...]:
+        """Return the pids of the live worker processes, sorted.
+
+        Returns:
+            The worker pids (empty before the first job spawns workers).
+        """
+        if self._executor is None:
+            return ()
+        procs = (getattr(self._executor, "_processes", None) or {}).values()
+        return tuple(sorted(proc.pid for proc in procs))
+
+    def _ensure(self) -> ProcessPoolExecutor:
+        """Return the live shared executor, spawning it if needed."""
+        if self._executor is None:
+            self._executor = ProcessPoolExecutor(
+                max_workers=self.max_workers,
+                initializer=_init_service_worker, initargs=(os.getpid(),))
+        return self._executor
+
+    def lease(self, spec: CampaignSpec, payload: str, engine: str,
+              plan: FaultPlan | None) -> "_PoolLease":
+        """Issue one campaign run's handle on the shared pool.
+
+        Writes the job's worker context to a spool file (shipped by path,
+        loaded once per worker) and returns the lease the executor wires
+        into its supervisor in place of a dedicated pool.
+
+        Args:
+            spec: The campaign about to run.
+            payload: The run's payload mode.
+            engine: The resolved simulation-kernel name.
+            plan: The run's fault plan, if any.
+
+        Returns:
+            The job's pool lease.
+        """
+        self._job_seq += 1
+        path = os.path.join(self._spool, f"job-{self._job_seq}.ctx")
+        with open(path, "wb") as handle:
+            pickle.dump((spec, payload, engine, plan), handle)
+        return _PoolLease(self, self._job_seq, path)
+
+    def shutdown(self, *, kill: bool = False) -> None:
+        """Shut the shared pool down and remove its spool directory.
+
+        Args:
+            kill: ``False`` waits for in-flight work; ``True`` SIGKILLs
+                the workers (service hard-stop).
+        """
+        executor, self._executor = self._executor, None
+        _shutdown_pool(executor, kill=kill)
+        shutil.rmtree(self._spool, ignore_errors=True)
+
+
+class _PoolLease:
+    """One campaign run's view of a shared :class:`CampaignPool`.
+
+    Adapts the shared pool to the supervisor's contract: ``make_pool``
+    returns the live shared executor (respawning it only when the
+    supervisor killed the previous one), and ``submit`` routes batches
+    through :func:`_run_service_batch` so workers pick the job's context
+    up from the spool file.
+    """
+
+    def __init__(self, pool: CampaignPool, token: int, ctx_path: str):
+        """Bind the lease to its pool and spooled job context.
+
+        Args:
+            pool: The shared pool.
+            token: The job token keying the workers' context cache.
+            ctx_path: Path of the spooled worker-context pickle.
+        """
+        self.pool = pool
+        self.token = token
+        self.ctx_path = ctx_path
+        self._issued: ProcessPoolExecutor | None = None
+
+    def make_pool(self) -> ProcessPoolExecutor:
+        """Return the executor for this run (the supervisor's factory).
+
+        The supervisor calls this once at start and again right after
+        killing a broken/hung pool: if the executor it killed is still
+        the shared one, it is dropped so a fresh pool replaces it — for
+        this job and every one after it.
+
+        Returns:
+            The live shared executor.
+        """
+        if self._issued is not None and self._issued is self.pool._executor:
+            self.pool._executor = None
+        self._issued = self.pool._ensure()
+        return self._issued
+
+    def submit(self, pool: ProcessPoolExecutor, task: _BatchTask,
+               token, ctx: BatchContext | None):
+        """Submit one batch through the service entry point.
+
+        Args:
+            pool: The executor issued by :meth:`make_pool`.
+            task: The batch to dispatch.
+            token: Optional shared-memory reservation token.
+            ctx: The batch's dispatch context.
+
+        Returns:
+            The batch future.
+        """
+        return pool.submit(_run_service_batch, (self.token, self.ctx_path),
+                           task, token, ctx)
+
+    def close(self) -> None:
+        """Delete the job's spool file (workers keep their cached copy)."""
+        try:
+            os.unlink(self.ctx_path)
+        except OSError:
+            pass
 
 
 def _chunk_runs(runs: Sequence[TrialRun], batch_size: int) -> List[_BatchTask]:
@@ -609,7 +940,9 @@ class _PoolSupervisor:
                  quarantine: Callable[[_Pending, BaseException], None],
                  events: List[Tuple[str, str]],
                  max_retries: int, batch_deadline: float | None,
-                 max_respawns: int, store_path: str | None):
+                 max_respawns: int, store_path: str | None,
+                 submit: Callable | None = None, owns_pool: bool = True,
+                 stop: Callable[[], bool] | None = None):
         """Wire the supervisor to one campaign run.
 
         Args:
@@ -629,6 +962,15 @@ class _PoolSupervisor:
                 worker is declared hung (``None`` disables the watchdog).
             max_respawns: Pool-respawn budget for the whole run.
             store_path: Checkpoint-store path for error messages, if any.
+            submit: Batch dispatcher ``submit(pool, task, token, ctx)``;
+                ``None`` submits :func:`_execute_batch_in_worker`
+                directly (dedicated-pool runs).
+            owns_pool: Whether this run owns the pool's lifecycle.  With
+                an externally owned (service) pool, the supervisor never
+                shuts it down on completion — only a recovery respawn
+                replaces it, through ``make_pool``.
+            stop: Cooperative-cancel poll; returning ``True`` between
+                batches raises :class:`CampaignCancelled`.
         """
         self.queue: Deque[_Pending] = deque(
             _Pending(task, (0,) * len(task[1])) for task in tasks)
@@ -645,6 +987,11 @@ class _PoolSupervisor:
         self.batch_deadline = batch_deadline
         self.max_respawns = max_respawns
         self.store_path = store_path
+        self.submit = submit or (
+            lambda pool, task, token, ctx:
+            pool.submit(_execute_batch_in_worker, task, token, ctx))
+        self.owns_pool = owns_pool
+        self.stop = stop
         self.dispatch = 0
         self.respawns = 0
 
@@ -655,6 +1002,7 @@ class _PoolSupervisor:
         pool = self.make_pool()
         try:
             while self.queue or self.isolation or self.inflight:
+                self._check_stop()
                 pool = self._fill(pool)
                 if not self.inflight:
                     continue
@@ -664,10 +1012,25 @@ class _PoolSupervisor:
                 for future in done:
                     pool = self._retire(pool, future)
                 pool = self._check_deadlines(pool)
-            _shutdown_pool(pool, kill=False)
+            if self.owns_pool:
+                _shutdown_pool(pool, kill=False)
         except BaseException:
-            _shutdown_pool(pool, kill=True)
+            if self.owns_pool:
+                _shutdown_pool(pool, kill=True)
+            else:
+                # An externally owned pool stays warm for the next job;
+                # just drop this run's pending work.  Batches already on a
+                # worker run to completion into discarded futures, which
+                # is harmless: nothing unpublished reaches the aggregates
+                # or the store, so a resume re-runs them exactly.
+                for future in self.inflight:
+                    future.cancel()
             raise
+
+    def _check_stop(self) -> None:
+        """Raise :class:`CampaignCancelled` when a cancel was requested."""
+        if self.stop is not None and self.stop():
+            raise CampaignCancelled()
 
     def _capacity(self) -> int:
         """Current in-flight cap: 1 while isolating suspects, else window."""
@@ -697,8 +1060,7 @@ class _PoolSupervisor:
         self.dispatch += 1
         ctx = BatchContext(dispatch=self.dispatch, attempts=pending.attempts)
         try:
-            future = pool.submit(_execute_batch_in_worker, pending.task,
-                                 token, ctx)
+            future = self.submit(pool, pending.task, token, ctx)
         except BrokenProcessPool:
             self.release(ticket, len(pending.task[1]))
             raise
@@ -707,14 +1069,26 @@ class _PoolSupervisor:
         self.inflight[future] = _Flight(pending=pending, ticket=ticket,
                                         deadline=deadline, isolated=isolated)
 
+    #: Poll period of the cancel check while batches are in flight.
+    _STOP_POLL = 0.2
+
     def _wait_timeout(self) -> float | None:
-        """Sleep budget of the next ``wait()``: until the earliest deadline."""
+        """Sleep budget of the next ``wait()``: until the earliest deadline.
+
+        With a ``stop`` poll attached the budget is additionally capped at
+        :data:`_STOP_POLL` seconds, so a cancel request interrupts a run
+        promptly instead of waiting out a long batch.
+        """
         deadlines = [flight.deadline for flight in self.inflight.values()
                      if flight.deadline is not None]
-        if not deadlines:
-            return None
-        return max(0.0, min(deadlines) - time.monotonic()
-                   + self._DEADLINE_SLACK)
+        timeout = None
+        if deadlines:
+            timeout = max(0.0, min(deadlines) - time.monotonic()
+                          + self._DEADLINE_SLACK)
+        if self.stop is not None:
+            timeout = (self._STOP_POLL if timeout is None
+                       else min(timeout, self._STOP_POLL))
+        return timeout
 
     # -- retirement and blame ---------------------------------------------
 
@@ -863,6 +1237,9 @@ def run_campaign(spec: CampaignSpec, *, seed: int = 0, max_workers: int = 1,
                  batch_deadline: float | None = None,
                  max_respawns: int = DEFAULT_MAX_RESPAWNS,
                  fault_plan: "FaultPlan | str | None" = None,
+                 pool: CampaignPool | None = None,
+                 stop: Callable[[], bool] | None = None,
+                 on_event: Callable[[str, str], None] | None = None,
                  ) -> CampaignResult:
     """Run a whole campaign, serially or across worker processes.
 
@@ -929,6 +1306,19 @@ def run_campaign(spec: CampaignSpec, *, seed: int = 0, max_workers: int = 1,
             :class:`~repro.campaign.faults.FaultPlan`, a plan string, or
             ``None`` to defer to the ``REPRO_FAULT_PLAN`` environment
             variable (the usual case: no faults).
+        pool: Externally owned warm :class:`CampaignPool` (service mode).
+            The run executes on its workers — even a single-task campaign
+            goes through the pooled path, so consecutive jobs share one
+            set of worker processes — and never shuts it down;
+            ``max_workers`` is ignored in favour of the pool's size.
+        stop: Cooperative-cancel poll, checked between batches; returning
+            ``True`` raises :class:`CampaignCancelled` after the store is
+            flushed and shared memory unlinked, leaving a resumable
+            checkpoint prefix.
+        on_event: Optional streaming counterpart of ``recovery_events``:
+            invoked as ``on_event(kind, detail)`` the moment an event is
+            recorded (the service fans these out to ``watch``
+            subscribers).  The final result still carries the full tuple.
 
     Returns:
         The ordered, aggregated :class:`CampaignResult`.
@@ -940,6 +1330,7 @@ def run_campaign(spec: CampaignSpec, *, seed: int = 0, max_workers: int = 1,
             a different master seed or payload mode, or holds checkpoints
             while ``resume`` is false.
         CampaignExecutionError: If the pool-respawn budget is exhausted.
+        CampaignCancelled: If ``stop`` returned ``True`` mid-run.
     """
     if payload not in PAYLOAD_KINDS:
         raise ValueError(f"unknown payload kind {payload!r}")
@@ -958,7 +1349,7 @@ def run_campaign(spec: CampaignSpec, *, seed: int = 0, max_workers: int = 1,
     summaries: List[TrialSummary | None] = [None] * len(runs)
     full: List[TrialResult | None] = [None] * len(runs)
     quarantined: List[TrialFailure] = []
-    events: List[Tuple[str, str]] = []
+    events: List[Tuple[str, str]] = _EventLog(on_event)
     recovery = RecoveryStateMachine()
 
     own_store: CampaignStore | None = None
@@ -983,6 +1374,20 @@ def run_campaign(spec: CampaignSpec, *, seed: int = 0, max_workers: int = 1,
         quarantined.append(failure)
         events.append(("quarantine", failure.describe()))
 
+    def _publish(index: int, summary: TrialSummary,
+                 result: "TrialResult | None") -> None:
+        """Publish one finished trial: aggregates, then the callback.
+
+        The single publication path for replayed, pickled and
+        shared-memory results — everything the caller observes (the
+        ordered aggregates and the ``on_result`` stream) flows through
+        here, which is also where the service's event fan-out hooks in.
+        """
+        summaries[index] = summary
+        full[index] = result
+        if on_result is not None:
+            on_result(summary)
+
     session: shm_plane.ShmSession | None = None
     try:
         live_runs: Sequence[TrialRun] = runs
@@ -995,11 +1400,8 @@ def run_campaign(spec: CampaignSpec, *, seed: int = 0, max_workers: int = 1,
                 if not 0 <= index < len(runs) or summaries[index] is not None:
                     raise CampaignStoreError(
                         f"store replayed an impossible trial index {index}")
-                summaries[index] = summary
-                full[index] = result
+                _publish(index, summary, result)
                 replayed_count += 1
-                if on_result is not None:
-                    on_result(summary)
             done_indices = {index for index, _, _ in replayed}
             for failure in store_obj.failures():
                 # A trial the interrupted run already gave up on stays
@@ -1014,7 +1416,11 @@ def run_campaign(spec: CampaignSpec, *, seed: int = 0, max_workers: int = 1,
         tasks = _chunk_runs(live_runs, batch)
         started = time.perf_counter()
 
-        pooled = max_workers > 1 and len(tasks) > 1
+        # An external (service) pool forces the pooled path even for a
+        # single-task job, so every job observably runs on the same warm
+        # worker processes.
+        pooled = bool(tasks) and (pool is not None
+                                  or (max_workers > 1 and len(tasks) > 1))
         use_shm = _resolve_shm(shm, resolved_engine, payload, pooled)
 
         def record(batch_results) -> None:
@@ -1023,10 +1429,7 @@ def run_campaign(spec: CampaignSpec, *, seed: int = 0, max_workers: int = 1,
             if store_obj is not None:
                 store_obj.checkpoint_batch(batch_results)
             for index, summary, result in batch_results:
-                summaries[index] = summary
-                full[index] = result
-                if on_result is not None:
-                    on_result(summary)
+                _publish(index, summary, result)
 
         def record_shm(task: _BatchTask, ticket, outcome) -> None:
             # Shared-memory counterpart: decode the task's ring records in
@@ -1051,10 +1454,8 @@ def run_campaign(spec: CampaignSpec, *, seed: int = 0, max_workers: int = 1,
                     store_obj.checkpoint_batch(
                         list(zip(expected, decoded, results)))
             for offset, (index, summary) in enumerate(zip(expected, decoded)):
-                summaries[index] = summary
-                full[index] = results[offset] if results is not None else None
-                if on_result is not None:
-                    on_result(summary)
+                _publish(index, summary,
+                         results[offset] if results is not None else None)
             session.release(ticket, count)
 
         if tasks:
@@ -1064,6 +1465,8 @@ def run_campaign(spec: CampaignSpec, *, seed: int = 0, max_workers: int = 1,
                 _Pending(task, (0,) * len(task[1])) for task in tasks)
             dispatch = 0
             while pending_q:
+                if stop is not None and stop():
+                    raise CampaignCancelled()
                 pending = pending_q.popleft()
                 dispatch += 1
                 ctx = BatchContext(dispatch=dispatch,
@@ -1081,7 +1484,8 @@ def run_campaign(spec: CampaignSpec, *, seed: int = 0, max_workers: int = 1,
                     continue
                 record(outcome)
         else:
-            workers = min(max_workers, len(tasks))
+            workers = (pool.max_workers if pool is not None
+                       else min(max_workers, len(tasks)))
             window = workers * _INFLIGHT_PER_WORKER
             cell_live: Dict[int, int] = {}
             if use_shm:
@@ -1099,7 +1503,9 @@ def run_campaign(spec: CampaignSpec, *, seed: int = 0, max_workers: int = 1,
                 spec_index, runs_lite = task
                 count = len(runs_lite)
                 want_plane = (resolved_engine == "batched" and count > 1
-                              and payload != "full")
+                              and payload != "full"
+                              and (spec.trials[spec_index].runner
+                                   == TRIAL_RUNNER_DEFAULT))
                 if want_plane and session.plane(spec_index) is None:
                     state_cols, cross_cols = _cell_plane_geometry(
                         spec, spec_index)
@@ -1130,15 +1536,25 @@ def run_campaign(spec: CampaignSpec, *, seed: int = 0, max_workers: int = 1,
                     max_workers=workers, initializer=_init_worker,
                     initargs=(spec, payload, resolved_engine, plan))
 
+            lease = (pool.lease(spec, payload, resolved_engine, plan)
+                     if pool is not None else None)
             supervisor = _PoolSupervisor(
-                tasks=tasks, window=window, make_pool=make_pool,
+                tasks=tasks, window=window,
+                make_pool=(lease.make_pool if lease is not None
+                           else make_pool),
                 acquire=acquire, publish=publish, release=release,
                 quarantine=quarantine, events=events,
                 max_retries=max_retries, batch_deadline=batch_deadline,
                 max_respawns=max_respawns,
                 store_path=(str(store_obj.path)
-                            if store_obj is not None else None))
-            supervisor.run()
+                            if store_obj is not None else None),
+                submit=(lease.submit if lease is not None else None),
+                owns_pool=(lease is None), stop=stop)
+            try:
+                supervisor.run()
+            finally:
+                if lease is not None:
+                    lease.close()
 
         wall_time = time.perf_counter() - started
         missing = {run.index for run in runs if summaries[run.index] is None}

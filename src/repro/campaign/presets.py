@@ -367,6 +367,89 @@ def grid_result(campaign: CampaignResult) -> ExperimentResult:
 
 
 # --------------------------------------------------------------------------
+# Industrial interlock (the paper's beyond-surgery motivation)
+# --------------------------------------------------------------------------
+
+def interlock_spec(config: CaseStudyConfig | None = None, *,
+                   horizon: float | None = None,
+                   replicates: int = 1) -> CampaignSpec:
+    """Build the four-entity industrial-interlock campaign.
+
+    The furnace line of ``examples/industrial_interlock.py`` as campaign
+    cells: the lease design and the no-lease baseline under the same
+    bursty 90%-loss Gilbert-Elliott channel.  Each cell's first replicate
+    pins seed 1 (the example's seed) so the preset reproduces the
+    example's outcome — lease SAFE, baseline VIOLATED — exactly;
+    additional replicates derive their seeds from the master seed.
+
+    Args:
+        config: Accepted for registry uniformity; the interlock runner
+            builds its own pattern system and ignores case-study
+            configuration.
+        horizon: Per-trial horizon in seconds (``None`` = the runner's
+            250 s default).
+        replicates: Independent trials per cell.
+
+    Returns:
+        The interlock campaign spec.
+    """
+    trials = []
+    for with_lease in (True, False):
+        trials.append(TrialSpec(
+            label=f"interlock, {mode_label(with_lease)}",
+            with_lease=with_lease,
+            duration=horizon,
+            replicates=replicates,
+            seeds=(1,),
+            runner="interlock",
+        ))
+    return CampaignSpec(name="interlock", trials=tuple(trials),
+                        config=config or CaseStudyConfig())
+
+
+def interlock_result(campaign: CampaignResult) -> ExperimentResult:
+    """Fold an interlock campaign into an experiment result.
+
+    Args:
+        campaign: A completed ``interlock`` campaign.
+
+    Returns:
+        One row per mode plus the lease-safety checks (lease keeps the
+        PTE order under the same bursty loss that breaks the baseline).
+    """
+    from repro.experiments.runner import ExperimentResult
+
+    rows = []
+    lease_failures = 0
+    baseline_failures = 0
+    for group in campaign.groups():
+        rows.append([group.mode, group.trials, group.laser_emissions,
+                     group.failures, group.evt_to_stop,
+                     round(group.max_emission_duration, 1),
+                     round(group.mean_loss_ratio, 2)])
+        if group.with_lease:
+            lease_failures += group.failures
+        else:
+            baseline_failures += group.failures
+    return ExperimentResult(
+        experiment="interlock",
+        title="Industrial interlock: four-entity furnace line under bursty loss",
+        headers=["mode", "trials", "torch activations", "failures", "evtToStop",
+                 "max activation (s)", "mean loss ratio"],
+        rows=rows,
+        notes=["the paper's beyond-surgery motivation: exhaust fan -> coolant "
+               "pump -> conveyor -> plasma torch must enter risky modes in "
+               "order and leave in reverse",
+               "bursty Gilbert-Elliott channel (90% loss in the bad state) on "
+               "every wireless link"],
+        checks={
+            "lease_keeps_pte_order": lease_failures == 0,
+            "baseline_violates_pte_order": baseline_failures > 0,
+        },
+    )
+
+
+# --------------------------------------------------------------------------
 # Registry
 # --------------------------------------------------------------------------
 
@@ -404,5 +487,11 @@ PRESETS: Dict[str, Preset] = {
         description="Joint loss-rate x E(Toff) grid (campaign-only sweep)",
         build=grid_spec,
         to_result=grid_result,
+    ),
+    "interlock": Preset(
+        name="interlock",
+        description="Four-entity industrial interlock under bursty loss",
+        build=interlock_spec,
+        to_result=interlock_result,
     ),
 }

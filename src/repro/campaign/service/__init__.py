@@ -1,0 +1,50 @@
+"""Campaign service mode: a long-running job server over one warm pool.
+
+The subsystem splits into four modules:
+
+* :mod:`~repro.campaign.service.protocol` — length-prefixed JSON frames
+  and the type-directed spec codec (fingerprint-identical to in-process
+  specs).
+* :mod:`~repro.campaign.service.server` — the :class:`CampaignService`
+  daemon: priority job queue, one shared warm
+  :class:`~repro.campaign.executor.CampaignPool`, one durable store per
+  job keyed by spec fingerprint, restart recovery from the stores
+  directory.
+* :mod:`~repro.campaign.service.client` — :class:`ServiceClient` and the
+  ``serve``/``submit``/``status``/``watch``/``cancel``/``drain``/
+  ``shutdown`` CLI subcommands.
+* :mod:`~repro.campaign.service.events` — per-job :class:`EventBus` fan
+  -out of streaming aggregate snapshots to ``watch`` subscribers.
+
+See ``docs/service.md`` for the protocol and operational guidance.
+"""
+
+from repro.campaign.service.client import (DEFAULT_SOCKET, SERVICE_COMMANDS,
+                                           ServiceClient, ServiceError,
+                                           service_main)
+from repro.campaign.service.events import CellAggregator, EventBus
+from repro.campaign.service.protocol import (PROTOCOL_VERSION, ProtocolError,
+                                             decode_spec, encode_spec,
+                                             recv_frame, send_frame)
+from repro.campaign.service.server import (CampaignService, Job, JobState,
+                                           serve_main)
+
+__all__ = [
+    "DEFAULT_SOCKET",
+    "PROTOCOL_VERSION",
+    "SERVICE_COMMANDS",
+    "CampaignService",
+    "CellAggregator",
+    "EventBus",
+    "Job",
+    "JobState",
+    "ProtocolError",
+    "ServiceClient",
+    "ServiceError",
+    "decode_spec",
+    "encode_spec",
+    "recv_frame",
+    "send_frame",
+    "serve_main",
+    "service_main",
+]

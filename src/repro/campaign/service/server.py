@@ -1,0 +1,544 @@
+"""The campaign service daemon: queued jobs over one warm worker pool.
+
+``python -m repro.campaign serve --socket PATH --stores-dir DIR`` runs a
+:class:`CampaignService`: a unix-socket server that accepts
+:class:`~repro.campaign.spec.CampaignSpec` submissions, queues them by
+priority, and executes them one at a time on a single warm
+:class:`~repro.campaign.executor.CampaignPool` — so back-to-back jobs
+skip process-pool spin-up entirely (the integration tests assert the
+worker PIDs are identical across jobs).
+
+Job identity *is* the spec fingerprint
+(:func:`~repro.campaign.store.spec_fingerprint` over the canonical
+``(spec, master_seed)`` encoding): each job owns one durable store at
+``<stores-dir>/<fingerprint>.db`` plus a sidecar ``<fingerprint>.job.json``
+recording the submission.  That makes submission idempotent (re-submitting
+a spec returns the existing job) and makes restart recovery trivial: on
+startup the service scans the stores directory, registers finished stores
+as COMPLETE, and re-enqueues every sidecar whose store is incomplete —
+``run_campaign(resume=True)`` then replays the checkpointed prefix
+through the executor's ``RecoveryStateMachine`` and simulates only the
+remainder, preserving the repo's bit-identity contract across a mid-job
+SIGKILL of the daemon itself.
+
+Job lifecycle::
+
+    QUEUED ──▶ RUNNING ──▶ COMPLETE
+      │            ├─────▶ FAILED
+      └────────────┴─────▶ CANCELLED
+
+See ``docs/service.md`` for the wire protocol and operational guidance.
+"""
+
+from __future__ import annotations
+
+import enum
+import heapq
+import json
+import os
+import queue
+import signal
+import socket
+import threading
+import traceback
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.campaign.executor import (CampaignCancelled, CampaignPool,
+                                     run_campaign)
+from repro.campaign.service import protocol
+from repro.campaign.service.events import EventBus, cell_json
+from repro.campaign.spec import CampaignSpec
+from repro.campaign.store import (CampaignStore, CampaignStoreError,
+                                  enumerate_stores, spec_fingerprint)
+
+#: How often (seconds) blocking loops wake to check stop/cancel flags.
+_POLL_INTERVAL = 0.2
+
+
+class JobState(enum.Enum):
+    """Lifecycle states of a service job, in order of appearance."""
+
+    QUEUED = "queued"
+    RUNNING = "running"
+    COMPLETE = "complete"
+    FAILED = "failed"
+    CANCELLED = "cancelled"
+
+
+#: States from which a job can never leave.
+TERMINAL_STATES = (JobState.COMPLETE, JobState.FAILED, JobState.CANCELLED)
+
+
+@dataclass
+class Job:
+    """One submitted campaign and everything the service knows about it."""
+
+    fingerprint: str
+    spec: CampaignSpec
+    master_seed: int
+    payload: str
+    priority: int
+    seq: int
+    state: JobState = JobState.QUEUED
+    error: Optional[str] = None
+    pool_pids: Tuple[int, ...] = ()
+    cells: List[dict] = field(default_factory=list)
+    bus: EventBus = None  # type: ignore[assignment]  # set in __post_init__
+    cancel: threading.Event = field(default_factory=threading.Event)
+
+    def __post_init__(self) -> None:
+        if self.bus is None:
+            self.bus = EventBus(self.spec.total_trials)
+
+    def to_json(self, store_status: Optional[dict] = None) -> dict:
+        """Encode the job for a ``status`` response.
+
+        Args:
+            store_status: The job store's
+                :meth:`~repro.campaign.store.CheckpointStatus.to_json`
+                snapshot, when the caller read one.
+
+        Returns:
+            The JSON-ready job description.
+        """
+        body = {
+            "job": self.fingerprint,
+            "name": self.spec.name,
+            "state": self.state.value,
+            "priority": self.priority,
+            "total_trials": self.spec.total_trials,
+            "pool_pids": list(self.pool_pids),
+            "cells": self.cells,
+        }
+        if self.error is not None:
+            body["error"] = self.error
+        if store_status is not None:
+            body["store"] = store_status
+        return body
+
+
+class CampaignService:
+    """A long-running campaign job server on a unix socket.
+
+    One instance owns the socket, the priority queue, the warm worker
+    pool, and the stores directory.  :meth:`serve` runs the accept loop
+    in the calling thread until a ``shutdown`` request (or SIGTERM /
+    SIGINT) stops it; jobs execute sequentially on a dedicated runner
+    thread so a slow campaign never blocks status queries.
+    """
+
+    def __init__(self, socket_path: str | os.PathLike,
+                 stores_dir: str | os.PathLike, *,
+                 max_workers: int = 2, engine: str | None = None,
+                 batch_size: int | None = None) -> None:
+        """Configure the service (no sockets are opened yet).
+
+        Args:
+            socket_path: Unix socket path to listen on; a stale socket
+                file from a killed daemon is replaced on startup.
+            stores_dir: Directory of per-job durable stores and submission
+                sidecars (created if missing).
+            max_workers: Worker-process count of the shared warm pool.
+            engine: Simulation kernel override for every job (``None`` =
+                the campaign default).
+            batch_size: Replicate batch size override for every job.
+        """
+        self.socket_path = os.fspath(socket_path)
+        self.stores_dir = os.fspath(stores_dir)
+        self.engine = engine
+        self.batch_size = batch_size
+        self.pool = CampaignPool(max_workers)
+        self._lock = threading.Condition()
+        self._jobs: Dict[str, Job] = {}
+        self._queue: List[Tuple[int, int, str]] = []  # (-priority, seq, fp)
+        self._seq = 0
+        self._stopping = False
+        self._runner: Optional[threading.Thread] = None
+        os.makedirs(self.stores_dir, exist_ok=True)
+        self._recover()
+
+    # -- paths -------------------------------------------------------------
+
+    def _store_path(self, fingerprint: str) -> str:
+        """Return the durable store path of a job."""
+        return os.path.join(self.stores_dir, f"{fingerprint}.db")
+
+    def _sidecar_path(self, fingerprint: str) -> str:
+        """Return the submission-sidecar path of a job."""
+        return os.path.join(self.stores_dir, f"{fingerprint}.job.json")
+
+    # -- startup recovery --------------------------------------------------
+
+    def _recover(self) -> None:
+        """Re-register every job found in the stores directory.
+
+        Finished stores come back as COMPLETE entries; incomplete stores
+        whose sidecar survives are re-enqueued for a ``resume=True`` run
+        (the store replays its checkpointed prefix, so nothing simulated
+        before the crash is simulated again).
+        """
+        statuses = {path: status
+                    for path, status in enumerate_stores(self.stores_dir)}
+        for name in sorted(os.listdir(self.stores_dir)):
+            if not name.endswith(".job.json"):
+                continue
+            sidecar = os.path.join(self.stores_dir, name)
+            try:
+                with open(sidecar, "r", encoding="utf-8") as handle:
+                    record = json.load(handle)
+                spec = protocol.decode_spec(record["spec"])
+                master_seed = int(record["master_seed"])
+            except (OSError, ValueError, KeyError,
+                    protocol.ProtocolError):
+                continue
+            fingerprint = spec_fingerprint(spec, master_seed)
+            if fingerprint != name[:-len(".job.json")]:
+                continue
+            job = Job(fingerprint=fingerprint, spec=spec,
+                      master_seed=master_seed,
+                      payload=str(record.get("payload", "summary")),
+                      priority=int(record.get("priority", 0)),
+                      seq=self._next_seq())
+            status = statuses.get(self._store_path(fingerprint))
+            if status is not None and status.complete:
+                job.state = JobState.COMPLETE
+                job.bus.close({"event": "done", "state": job.state.value})
+            else:
+                heapq.heappush(self._queue,
+                               (-job.priority, job.seq, fingerprint))
+            self._jobs[fingerprint] = job
+
+    def _next_seq(self) -> int:
+        """Return the next submission sequence number (FIFO tiebreaker)."""
+        self._seq += 1
+        return self._seq
+
+    # -- job execution -----------------------------------------------------
+
+    def _runner_loop(self) -> None:
+        """Execute queued jobs one at a time until asked to stop."""
+        while True:
+            with self._lock:
+                while not self._queue and not self._stopping:
+                    self._lock.wait(_POLL_INTERVAL)
+                if self._stopping:
+                    return
+                _, _, fingerprint = heapq.heappop(self._queue)
+                job = self._jobs[fingerprint]
+                if job.state is not JobState.QUEUED:
+                    continue
+                job.state = JobState.RUNNING
+            job.bus.state(JobState.RUNNING.value)
+            self._run_job(job)
+            with self._lock:
+                self._lock.notify_all()
+
+    def _run_job(self, job: Job) -> None:
+        """Run one job to a terminal state on the shared warm pool.
+
+        Args:
+            job: The job to execute (already marked RUNNING).
+        """
+        final: JobState
+        try:
+            store = CampaignStore(self._store_path(job.fingerprint))
+            store.on_commit = job.bus.checkpoint
+            try:
+                result = run_campaign(
+                    job.spec, seed=job.master_seed, payload=job.payload,
+                    max_workers=self.pool.max_workers,
+                    engine=self.engine, batch_size=self.batch_size,
+                    store=store, resume=True, pool=self.pool,
+                    stop=job.cancel.is_set,
+                    on_result=job.bus.trial_done,
+                    on_event=job.bus.recovery)
+            finally:
+                store.close()
+            job.cells = [cell_json(group) for group in result.groups()]
+            job.pool_pids = self.pool.worker_pids()
+            final = JobState.COMPLETE
+        except CampaignCancelled:
+            final = JobState.CANCELLED
+        except Exception as exc:  # noqa: BLE001 - a job must never kill the daemon
+            job.error = f"{type(exc).__name__}: {exc}"
+            traceback.print_exc()
+            final = JobState.FAILED
+        with self._lock:
+            job.state = final
+        done = {"event": "done", "state": final.value}
+        if job.error is not None:
+            done["error"] = job.error
+        job.bus.close(done)
+
+    # -- request handlers --------------------------------------------------
+
+    def _find_job(self, token: str) -> Job:
+        """Resolve a job by full fingerprint or unambiguous prefix.
+
+        Args:
+            token: A fingerprint, or a prefix of one.
+
+        Returns:
+            The matching job.
+
+        Raises:
+            KeyError: If no job matches, or the prefix is ambiguous.
+        """
+        if token in self._jobs:
+            return self._jobs[token]
+        matches = [job for fp, job in self._jobs.items()
+                   if fp.startswith(token)]
+        if not matches:
+            raise KeyError(f"no job matches {token!r}")
+        if len(matches) > 1:
+            raise KeyError(f"job prefix {token!r} is ambiguous "
+                           f"({len(matches)} matches)")
+        return matches[0]
+
+    def _handle_submit(self, message: dict) -> dict:
+        """Queue one campaign submission (idempotent by fingerprint)."""
+        spec = protocol.decode_spec(message["spec"])
+        master_seed = int(message.get("master_seed", 0))
+        payload = str(message.get("payload", "summary"))
+        priority = int(message.get("priority", 0))
+        fingerprint = spec_fingerprint(spec, master_seed)
+        with self._lock:
+            if self._stopping:
+                return protocol.error("service is shutting down")
+            existing = self._jobs.get(fingerprint)
+            if existing is not None:
+                return protocol.ok(job=fingerprint,
+                                   state=existing.state.value,
+                                   duplicate=True)
+            job = Job(fingerprint=fingerprint, spec=spec,
+                      master_seed=master_seed, payload=payload,
+                      priority=priority, seq=self._next_seq())
+            sidecar = {"v": protocol.PROTOCOL_VERSION,
+                       "spec": protocol.encode_spec(spec),
+                       "master_seed": master_seed, "payload": payload,
+                       "priority": priority}
+            with open(self._sidecar_path(fingerprint), "w",
+                      encoding="utf-8") as handle:
+                json.dump(sidecar, handle, sort_keys=True)
+                handle.flush()
+                os.fsync(handle.fileno())
+            self._jobs[fingerprint] = job
+            heapq.heappush(self._queue, (-priority, job.seq, fingerprint))
+            position = len(self._queue)
+            self._lock.notify_all()
+        return protocol.ok(job=fingerprint, state=JobState.QUEUED.value,
+                           position=position)
+
+    def _handle_status(self, message: dict) -> dict:
+        """Report one job's status, or the whole service's."""
+        token = message.get("job")
+        if token is None:
+            with self._lock:
+                jobs = [job.to_json() for job in
+                        sorted(self._jobs.values(), key=lambda j: j.seq)]
+                queued = len(self._queue)
+            return protocol.ok(jobs=jobs, queued=queued,
+                               pool_pids=list(self.pool.worker_pids()),
+                               stores_dir=self.stores_dir)
+        try:
+            with self._lock:
+                job = self._find_job(str(token))
+        except KeyError as exc:
+            return protocol.error(str(exc))
+        store_status = None
+        store_path = self._store_path(job.fingerprint)
+        if os.path.exists(store_path):
+            try:
+                with CampaignStore(store_path, read_only=True) as store:
+                    snapshot = store.status()
+                store_status = (snapshot.to_json()
+                                if snapshot is not None else None)
+            except CampaignStoreError:
+                store_status = None
+        return protocol.ok(**job.to_json(store_status))
+
+    def _handle_cancel(self, message: dict) -> dict:
+        """Cancel one job: immediately if queued, cooperatively if running."""
+        try:
+            with self._lock:
+                job = self._find_job(str(message.get("job", "")))
+                if job.state in TERMINAL_STATES:
+                    return protocol.ok(job=job.fingerprint,
+                                       state=job.state.value)
+                job.cancel.set()
+                if job.state is JobState.QUEUED:
+                    job.state = JobState.CANCELLED
+        except KeyError as exc:
+            return protocol.error(str(exc))
+        if job.state is JobState.CANCELLED:
+            job.bus.close({"event": "done",
+                           "state": JobState.CANCELLED.value})
+        return protocol.ok(job=job.fingerprint, state=job.state.value)
+
+    def _handle_drain(self, message: dict) -> dict:
+        """Block until every accepted job reaches a terminal state."""
+        with self._lock:
+            while any(job.state not in TERMINAL_STATES
+                      for job in self._jobs.values()):
+                self._lock.wait(_POLL_INTERVAL)
+            states = {job.fingerprint: job.state.value
+                      for job in self._jobs.values()}
+        return protocol.ok(jobs=states)
+
+    def _handle_watch(self, sock: socket.socket, message: dict) -> None:
+        """Stream one job's events until its terminal event (or EOF)."""
+        try:
+            with self._lock:
+                job = self._find_job(str(message.get("job", "")))
+        except KeyError as exc:
+            protocol.send_frame(sock, protocol.error(str(exc)))
+            return
+        protocol.send_frame(sock, protocol.ok(job=job.fingerprint,
+                                              state=job.state.value))
+        subscriber = job.bus.subscribe()
+        try:
+            while True:
+                try:
+                    event = subscriber.get(timeout=_POLL_INTERVAL)
+                except queue.Empty:
+                    with self._lock:
+                        if self._stopping:
+                            return
+                    continue
+                protocol.send_frame(sock, event)
+                if event.get("event") == "done":
+                    return
+        except OSError:
+            return  # subscriber went away; nothing to clean up but the queue
+        finally:
+            job.bus.unsubscribe(subscriber)
+
+    # -- socket plumbing ---------------------------------------------------
+
+    def _handle_connection(self, sock: socket.socket) -> None:
+        """Serve one client connection (one or more request frames)."""
+        with sock:
+            while True:
+                try:
+                    message = protocol.recv_frame(sock)
+                except protocol.ProtocolError as exc:
+                    try:
+                        protocol.send_frame(sock, protocol.error(str(exc)))
+                    except OSError:
+                        pass
+                    return
+                if message is None:
+                    return
+                try:
+                    protocol.check_version(message)
+                    op = message.get("op")
+                    if op == "watch":
+                        self._handle_watch(sock, message)
+                        continue
+                    if op == "submit":
+                        response = self._handle_submit(message)
+                    elif op == "status":
+                        response = self._handle_status(message)
+                    elif op == "cancel":
+                        response = self._handle_cancel(message)
+                    elif op == "drain":
+                        response = self._handle_drain(message)
+                    elif op == "shutdown":
+                        response = protocol.ok(stopping=True)
+                        protocol.send_frame(sock, response)
+                        self.initiate_shutdown()
+                        return
+                    else:
+                        response = protocol.error(
+                            f"unknown operation {op!r}")
+                except protocol.ProtocolError as exc:
+                    response = protocol.error(str(exc))
+                except Exception as exc:  # noqa: BLE001 - report, don't die
+                    traceback.print_exc()
+                    response = protocol.error(
+                        f"{type(exc).__name__}: {exc}")
+                try:
+                    protocol.send_frame(sock, response)
+                except OSError:
+                    return
+
+    def initiate_shutdown(self) -> None:
+        """Ask the accept loop and the runner to stop.
+
+        Graceful: the currently running job (if any) finishes first;
+        still-queued jobs stay durably recorded in the stores directory
+        and are re-enqueued by the next daemon start.
+        """
+        with self._lock:
+            self._stopping = True
+            self._lock.notify_all()
+
+    def serve(self) -> None:
+        """Bind the socket and serve requests until shutdown.
+
+        Installs SIGTERM/SIGINT handlers (main thread only) that trigger
+        the same graceful shutdown as the ``shutdown`` operation.  The
+        socket file is unlinked and the warm pool torn down on the way
+        out.
+        """
+        if os.path.exists(self.socket_path):
+            os.unlink(self.socket_path)
+        server = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        server.bind(self.socket_path)
+        server.listen(16)
+        server.settimeout(_POLL_INTERVAL)
+        self._runner = threading.Thread(target=self._runner_loop,
+                                        name="campaign-runner", daemon=True)
+        self._runner.start()
+        if threading.current_thread() is threading.main_thread():
+            for signum in (signal.SIGTERM, signal.SIGINT):
+                signal.signal(signum,
+                              lambda *_: self.initiate_shutdown())
+        handlers: List[threading.Thread] = []
+        try:
+            while True:
+                with self._lock:
+                    if self._stopping:
+                        break
+                try:
+                    sock, _ = server.accept()
+                except socket.timeout:
+                    continue
+                except OSError:
+                    break
+                thread = threading.Thread(target=self._handle_connection,
+                                          args=(sock,), daemon=True)
+                thread.start()
+                handlers.append(thread)
+        finally:
+            server.close()
+            if os.path.exists(self.socket_path):
+                os.unlink(self.socket_path)
+            if self._runner is not None:
+                self._runner.join(timeout=30.0)
+            for thread in handlers:
+                thread.join(timeout=1.0)
+            self.pool.shutdown()
+
+
+def serve_main(socket_path: str, stores_dir: str, *,
+               max_workers: int = 2, engine: str | None = None,
+               batch_size: int | None = None) -> int:
+    """Run a campaign service daemon in the foreground.
+
+    Args:
+        socket_path: Unix socket path to listen on.
+        stores_dir: Directory of per-job stores and sidecars.
+        max_workers: Worker-process count of the shared warm pool.
+        engine: Simulation kernel override for every job.
+        batch_size: Replicate batch size override for every job.
+
+    Returns:
+        Process exit status (0 after a graceful shutdown).
+    """
+    service = CampaignService(socket_path, stores_dir,
+                              max_workers=max_workers, engine=engine,
+                              batch_size=batch_size)
+    service.serve()
+    return 0

@@ -128,6 +128,12 @@ class TrialSpec:
             numbers exactly.
         params: Free-form ``(name, value)`` pairs recording the swept
             parameters, so result builders need not parse labels.
+        runner: Trial-runner registry name.  The default,
+            ``"tracheotomy"``, is the paper's laser-tracheotomy case
+            study; ``"interlock"`` runs the four-entity industrial
+            interlock (:mod:`repro.casestudy.interlock`).  Alternate
+            runners build their own system and ignore the case-study
+            ``channel``/``surgeon``/config overrides.
     """
 
     label: str
@@ -140,6 +146,7 @@ class TrialSpec:
     replicates: int = 1
     seeds: Tuple[int, ...] | None = None
     params: Tuple[Tuple[str, object], ...] = ()
+    runner: str = "tracheotomy"
 
     def __post_init__(self) -> None:
         if self.replicates < 1:

@@ -249,6 +249,29 @@ class CheckpointStatus:
             return RecoveryStage.REPLAYING
         return RecoveryStage.FRESH
 
+    def to_json(self) -> dict:
+        """Return the status as a JSON-ready dict.
+
+        One schema serves both ``--status --json`` and the service's
+        ``status`` response, so tooling parses a single shape regardless
+        of whether it asked a store file or a daemon.
+
+        Returns:
+            A dict of JSON primitives (the ``stage`` enum as its string
+            value).
+        """
+        return {
+            "name": self.name,
+            "fingerprint": self.fingerprint,
+            "master_seed": self.master_seed,
+            "payload": self.payload,
+            "total_trials": self.total_trials,
+            "checkpointed": self.checkpointed,
+            "complete": self.complete,
+            "quarantined": self.quarantined,
+            "stage": self.stage.value,
+        }
+
     def describe(self) -> str:
         """Render a short human-readable status report.
 
@@ -321,6 +344,12 @@ class CampaignStore:
         self.path = os.fspath(path)
         self.read_only = bool(read_only)
         self._fault_plan = fault_plan
+        #: Optional hook fired after every durable trial commit with the
+        #: number of rows just committed — the service's event fan-out
+        #: attaches here to stream checkpoint progress to ``watch``
+        #: subscribers.  Exceptions from the hook propagate (a broken
+        #: hook is a bug, not a storage condition).
+        self.on_commit: Optional[Callable[[int], None]] = None
         #: Transient-lock retries performed by this store's commits (an
         #: observability counter; the executor reports it as an event).
         self.commit_retries = 0
@@ -603,6 +632,8 @@ class CampaignStore:
             # Crash-injection harness: die the hard way (no cleanup, no
             # atexit, nothing flushed) right after a durable commit.
             os._exit(CRASH_EXIT_CODE)
+        if self.on_commit is not None:
+            self.on_commit(len(rows))
 
     def record_failure(self, failure: TrialFailure) -> None:
         """Durably record one quarantined trial in the ``failures`` table.
@@ -662,3 +693,35 @@ class CampaignStore:
     def __exit__(self, *exc_info: object) -> None:
         """Close the store on context exit."""
         self.close()
+
+
+def enumerate_stores(directory: str | os.PathLike,
+                     ) -> List[Tuple[str, CheckpointStatus]]:
+    """Scan a directory for campaign stores and snapshot each one's status.
+
+    The service's restart recovery walks its stores directory with this:
+    every ``*.db`` file that opens as a campaign store and has been bound
+    to a campaign contributes one ``(path, status)`` pair.  Files that are
+    not sqlite databases, stores nobody has bound yet, and unreadable
+    files are skipped silently — a stores directory is allowed to contain
+    strays (WAL side files, half-created databases from a crash).
+
+    Args:
+        directory: The directory to scan (non-recursive).
+
+    Returns:
+        ``(path, status)`` pairs sorted by path for determinism.
+    """
+    found: List[Tuple[str, CheckpointStatus]] = []
+    for name in sorted(os.listdir(directory)):
+        if not name.endswith(".db"):
+            continue
+        path = os.path.join(os.fspath(directory), name)
+        try:
+            with CampaignStore(path, read_only=True) as store:
+                status = store.status()
+        except (CampaignStoreError, sqlite3.Error):
+            continue
+        if status is not None:
+            found.append((path, status))
+    return found
