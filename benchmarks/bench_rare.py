@@ -1,0 +1,135 @@
+"""Rare-event estimator gates: splitting vs crude MC, and SPRT early stop.
+
+The target is a **low-loss Table-I cell**: the no-lease baseline under a
+near-perfect Bernoulli channel (loss 1e-4) with a fast surgeon
+(E(Toff) = 6 s).  In that regime the dwelling-budget event -- one
+ventilator pause consuming the full 60 s Rule-1 budget -- needs an
+emission that survives ~55 s against a mean of 6 s, i.e. a probability
+of roughly 1e-4 per trial.  Crude Monte Carlo at that rarity burns tens
+of thousands of trials per digit of relative error; multilevel splitting
+climbs the monitor's risk score instead.
+
+Two gates:
+
+* the **splitting efficiency gate** -- on the fixed benchmark cell, the
+  splitting estimate must be nonzero and must reach its relative error
+  with at least ``MIN_SPEEDUP``x fewer trials than crude Monte Carlo
+  would need for the same relative error
+  (:func:`~repro.verify.rare.crude_trials_for` is the closed-form
+  crude-MC budget, so the comparison costs nothing extra);
+* the **SPRT early-stop gate** -- Wald's sequential test on the same
+  cell must accept H0 (p <= 1e-3) within a small fraction of its
+  truncation budget: sequential testing answers the certification
+  question orders of magnitude before a fixed-budget campaign would.
+
+Both estimators are deterministic functions of the master seed, so the
+gates are exact, not flaky.  ``REPRO_BENCH_QUICK=1`` shortens the trial
+horizon for CI.
+"""
+
+import dataclasses
+import functools
+import time
+
+from _quick import quick
+from repro.campaign.spec import ChannelSpec
+from repro.casestudy.config import CaseStudyConfig, SurgeonModel
+from repro.verify.rare import (CellTemplate, SplitSettings, crude_trials_for,
+                               fixed_effort_splitting, pool_map,
+                               scored_case_trial)
+from repro.verify.sprt import SprtSettings, run_sprt_trials
+
+#: Simulated seconds per trial.
+TRIAL_DURATION = quick(300.0, 240.0)
+
+#: Surgeon E(Toff): fast cancels make the 60 s dwell event rare.
+MEAN_TOFF = 6.0
+
+#: Timer re-draw quantum -- the memoryless re-arming that gives forked
+#: clones fresh randomness mid-emission (see SurgeonModel docs).
+RESAMPLE_QUANTUM = 2.0
+
+#: Bernoulli per-message loss of the low-loss cell.
+LOSS = 1e-4
+
+#: Per-level effort of the splitting run.
+TRIALS_PER_LEVEL = 64
+
+#: Master seed of both estimators (results are deterministic in it).
+MASTER_SEED = 1
+
+#: Worker processes (estimates are worker-count invariant).
+WORKERS = 4
+
+#: The splitting run must beat the crude-MC budget by at least this
+#: factor at equal relative error.
+MIN_SPEEDUP = 10.0
+
+#: SPRT truncation budget and the early-stop bar.
+SPRT_MAX_TRIALS = 2000
+SPRT_DECISION_BUDGET = 400
+
+
+def _bench_template() -> CellTemplate:
+    config = dataclasses.replace(
+        CaseStudyConfig(),
+        surgeon=SurgeonModel(mean_toff=MEAN_TOFF,
+                             resample_quantum=RESAMPLE_QUANTUM))
+    return CellTemplate(config=config, with_lease=False,
+                        duration=TRIAL_DURATION,
+                        channel=ChannelSpec(kind="bernoulli", loss=LOSS),
+                        engine="compiled", event="dwell")
+
+
+def test_splitting_beats_crude_monte_carlo():
+    """Efficiency gate: >= MIN_SPEEDUP x fewer trials at equal rel. error."""
+    template = _bench_template()
+    trial_fn = functools.partial(scored_case_trial, template)
+    map_fn = functools.partial(pool_map, max_workers=WORKERS)
+    started = time.perf_counter()
+    estimate = fixed_effort_splitting(
+        trial_fn, master_seed=MASTER_SEED,
+        settings=SplitSettings(trials_per_level=TRIALS_PER_LEVEL,
+                               max_levels=20),
+        name="bench-split", map_fn=map_fn)
+    elapsed = time.perf_counter() - started
+
+    assert estimate.probability > 0.0, (
+        "splitting collapsed to zero on the benchmark cell; the fixed "
+        "master seed should reach the dwelling-budget event")
+    crude_budget = crude_trials_for(estimate.probability, estimate.rel_error)
+    speedup = crude_budget / estimate.trials_used
+    print(f"\nsplit: p={estimate.probability:.3e} "
+          f"rel_error={estimate.rel_error:.2f} "
+          f"levels={len(estimate.factors)} trials={estimate.trials_used} "
+          f"crude-equivalent={crude_budget} speedup={speedup:.1f}x "
+          f"({elapsed:.1f}s)")
+    assert speedup >= MIN_SPEEDUP, (
+        f"splitting used {estimate.trials_used} trials where crude MC "
+        f"needs {crude_budget} for rel_error={estimate.rel_error:.2f} -- "
+        f"only {speedup:.1f}x, below the {MIN_SPEEDUP}x gate")
+
+
+def test_sprt_stops_early():
+    """Early-stop gate: H0 accepted in a fraction of the trial budget."""
+    template = _bench_template()
+    trial_fn = functools.partial(scored_case_trial, template)
+    map_fn = functools.partial(pool_map, max_workers=WORKERS)
+    settings = SprtSettings(p0=1e-3, p1=5e-2, alpha=0.05, beta=0.05,
+                            max_trials=SPRT_MAX_TRIALS)
+    started = time.perf_counter()
+    result = run_sprt_trials(trial_fn, master_seed=MASTER_SEED,
+                             settings=settings, name="bench-sprt",
+                             batch=32, map_fn=map_fn)
+    elapsed = time.perf_counter() - started
+
+    print(f"\nsprt: decision={result.decision} "
+          f"trials={result.trials_used}/{SPRT_MAX_TRIALS} "
+          f"llr={result.llr:.2f} ({elapsed:.1f}s)")
+    assert result.decided_early, "SPRT hit its truncation budget"
+    assert result.decision == "H0", (
+        f"expected H0 (p <= {settings.p0}) on the low-loss cell, "
+        f"got {result.decision}")
+    assert result.trials_used <= SPRT_DECISION_BUDGET, (
+        f"SPRT needed {result.trials_used} trials; early stopping should "
+        f"decide within {SPRT_DECISION_BUDGET}")

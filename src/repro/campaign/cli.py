@@ -78,6 +78,21 @@ def _csv_floats(text: str) -> tuple[float, ...]:
             from exc
 
 
+def _levels_arg(text: str) -> int | tuple[float, ...]:
+    """Parse ``--levels``: an int (adaptive level cap) or a float ladder.
+
+    ``--levels 8`` caps the adaptive estimator at 8 levels; ``--levels
+    0.3,0.5,0.8`` pins an explicit, strictly increasing threshold ladder.
+    """
+    if "," not in text and "." not in text:
+        try:
+            return int(text)
+        except ValueError as exc:
+            raise argparse.ArgumentTypeError(
+                f"expected an int or comma-separated floats: {text!r}") from exc
+    return _csv_floats(text)
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the campaign CLI's argument parser.
 
@@ -177,6 +192,48 @@ def build_parser() -> argparse.ArgumentParser:
                              "'crash@batch=2;raise@trial=5' (see "
                              "repro.campaign.faults; default: the "
                              "REPRO_FAULT_PLAN environment variable)")
+    rare = parser.add_argument_group(
+        "rare-event estimation",
+        "Estimate one cell's PTE-violation probability instead of running "
+        "the full aggregate campaign (see docs/rare-events.md).  'split' is "
+        "multilevel importance splitting over the monitor's risk levels; "
+        "'sprt' sequentially tests H0: p <= p0 vs H1: p >= p1 and cancels "
+        "the cell's remaining batches the moment it decides; 'crude' is the "
+        "plain Monte-Carlo baseline over the same machinery.  All methods "
+        "are bit-identical across worker counts, engine tiers, and "
+        "--resume splits.")
+    rare.add_argument("--method", choices=("crude", "split", "sprt"),
+                      default=None,
+                      help="rare-event estimation method; crude and sprt "
+                           "take their trial budget from --replicates when "
+                           "it is above 1 (else 512 / 10000)")
+    rare.add_argument("--cell", type=int, default=None, metavar="INDEX",
+                      help="campaign cell to estimate (default: the first "
+                           "without-lease cell, else cell 0)")
+    rare.add_argument("--rel-error", type=float, default=None, metavar="RE",
+                      help="target relative standard error; the run exits 1 "
+                           "when the estimate is less precise than this")
+    rare.add_argument("--levels", type=_levels_arg, default=None,
+                      metavar="N|CSV",
+                      help="splitting levels: an int caps the adaptive "
+                           "estimator's level count, a comma-separated "
+                           "increasing float ladder (fractions of the PTE "
+                           "dwelling budget, e.g. 0.3,0.5,0.8) pins the "
+                           "thresholds explicitly")
+    rare.add_argument("--trials-per-level", type=int, default=64, metavar="N",
+                      help="fixed per-level effort of --method split "
+                           "(default: 64)")
+    rare.add_argument("--quantile", type=float, default=0.25, metavar="Q",
+                      help="fraction of trials promoted per adaptive "
+                           "splitting level (default: 0.25)")
+    rare.add_argument("--p0", type=float, default=1e-4,
+                      help="SPRT null hypothesis H0: p <= p0 (default: 1e-4)")
+    rare.add_argument("--p1", type=float, default=1e-2,
+                      help="SPRT alternative H1: p >= p1 (default: 1e-2)")
+    rare.add_argument("--alpha", type=float, default=0.05,
+                      help="SPRT type-I error budget (default: 0.05)")
+    rare.add_argument("--beta", type=float, default=0.05,
+                      help="SPRT type-II error budget (default: 0.05)")
     parser.add_argument("--json", nargs="?", const="-", default=None,
                         metavar="PATH",
                         help="write the full campaign result as JSON "
@@ -251,6 +308,194 @@ def _resume_command(argv: Sequence[str] | None) -> str:
     return f"python -m repro.campaign {quoted}"
 
 
+def _rare_json(args: argparse.Namespace, payload: dict) -> int:
+    """Emit a rare-event result as JSON per the ``--json`` destination.
+
+    Args:
+        args: The parsed CLI namespace.
+        payload: The JSON-ready result document.
+
+    Returns:
+        0 on success, 2 when the output file cannot be written.
+    """
+    text = json.dumps(payload, indent=2, sort_keys=True)
+    if args.json == "-":
+        print(text)
+        return 0
+    try:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+    except OSError as exc:
+        print(f"error: cannot write {args.json}: {exc}", file=sys.stderr)
+        return 2
+    print(f"wrote {args.json}")
+    return 0
+
+
+def _run_rare(args: argparse.Namespace, spec: CampaignSpec, workers: int,
+              engine: str | None, argv: Sequence[str] | None) -> int:
+    """Execute the ``--method`` rare-event estimation path.
+
+    Estimates one campaign cell's PTE-violation probability by crude
+    Monte Carlo, multilevel importance splitting, or a sequential
+    probability ratio test, honouring ``--store``/``--resume`` through
+    the store's estimator checkpoints (schema v4).
+
+    Args:
+        args: The parsed CLI namespace (``args.method`` is set).
+        spec: The campaign spec built from the preset arguments.
+        workers: Resolved worker count.
+        engine: Resolved engine choice (may be ``None``).
+        argv: Original argument vector, for the resume-hint line.
+
+    Returns:
+        Process exit status: 0 on success (SPRT: a within-budget
+        decision; crude/split: an estimate no less precise than
+        ``--rel-error`` when given), 1 when the check fails, 2 for usage
+        errors, ``128 + signum`` on SIGINT/SIGTERM.
+    """
+    from repro.campaign.executor import DEFAULT_CAMPAIGN_ENGINE
+    from repro.hybrid.simulate import resolve_engine_kind
+    from repro.verify.rare import (SplitSettings, crude_estimate_for_cell,
+                                   crude_trials_for, split_estimate_for_cell)
+    from repro.verify.sprt import SprtSettings, run_sprt_campaign
+
+    if args.cell is not None:
+        if not 0 <= args.cell < len(spec.trials):
+            print(f"error: --cell must be within [0, {len(spec.trials) - 1}] "
+                  f"for this campaign", file=sys.stderr)
+            return 2
+        cell_index = args.cell
+    else:
+        cell_index = next((i for i, trial in enumerate(spec.trials)
+                           if not trial.with_lease), 0)
+    cell = spec.trials[cell_index]
+    resolved_engine = resolve_engine_kind(engine,
+                                          default=DEFAULT_CAMPAIGN_ENGINE)
+    budget = args.replicates if args.replicates > 1 else None
+    print(f"rare-event estimation ({args.method}) of campaign "
+          f"{spec.name!r} cell {cell_index} ({cell.label!r}), "
+          f"{workers} worker(s), engine {resolved_engine}, "
+          f"master seed {args.seed}")
+
+    if isinstance(args.levels, tuple):
+        split_kwargs = {"levels": args.levels}
+    elif args.levels is not None:
+        split_kwargs = {"max_levels": args.levels}
+    else:
+        split_kwargs = {}
+
+    def raise_interrupt(signum: int, _frame) -> None:
+        raise CampaignInterrupted(signum)
+
+    previous_handlers = {
+        signum: signal.signal(signum, raise_interrupt)
+        for signum in (signal.SIGINT, signal.SIGTERM)
+    }
+    store = None
+    try:
+        store = CampaignStore(args.store) if args.store else None
+        if args.method == "sprt":
+            settings = SprtSettings(p0=args.p0, p1=args.p1, alpha=args.alpha,
+                                    beta=args.beta,
+                                    max_trials=budget or 10_000)
+            outcome = run_sprt_campaign(spec, cell_index,
+                                        master_seed=args.seed,
+                                        settings=settings,
+                                        max_workers=workers,
+                                        engine=resolved_engine,
+                                        batch_size=args.batch_size,
+                                        store=store, resume=args.resume)
+        elif args.method == "split":
+            try:
+                settings = SplitSettings(
+                    trials_per_level=args.trials_per_level,
+                    quantile=args.quantile, **split_kwargs)
+            except ValueError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 2
+            outcome = split_estimate_for_cell(spec, cell_index,
+                                              master_seed=args.seed,
+                                              settings=settings,
+                                              engine=resolved_engine,
+                                              max_workers=workers,
+                                              store=store,
+                                              resume=args.resume)
+        else:
+            outcome = crude_estimate_for_cell(spec, cell_index,
+                                              master_seed=args.seed,
+                                              trials=budget or 512,
+                                              engine=resolved_engine,
+                                              max_workers=workers)
+    except CampaignStoreError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except CampaignInterrupted as exc:
+        print(f"\n{exc}", file=sys.stderr)
+        if args.store:
+            print(f"estimator progress survives in {args.store}; resume "
+                  f"with:", file=sys.stderr)
+            print(f"  {_resume_command(argv)}", file=sys.stderr)
+        return 128 + exc.signum
+    finally:
+        if store is not None:
+            store.close()
+        for signum, handler in previous_handlers.items():
+            signal.signal(signum, handler)
+
+    print()
+    if args.method == "sprt":
+        hypothesis = (f"p >= {outcome.settings.p1:g} accepted"
+                      if outcome.decision == "H1"
+                      else f"p <= {outcome.settings.p0:g} accepted")
+        stopped = ("decided early" if outcome.decided_early
+                   else "truncated at max trials (verdict by evidence lean)")
+        print(f"decision:    {outcome.decision} ({hypothesis})")
+        print(f"stopping:    {stopped}")
+        print(f"trials:      {outcome.trials_used} "
+              f"({outcome.violations} violation(s), "
+              f"p_hat {outcome.p_hat:.3g})")
+        print(f"llr:         {outcome.llr:+.3f}")
+        passed = outcome.decided_early
+    else:
+        print(f"probability: {outcome.probability:.6g}")
+        if outcome.probability > 0:
+            print(f"rel error:   {outcome.rel_error:.3f}")
+            print(f"{outcome.confidence:.0%} CI:      "
+                  f"[{outcome.ci_low:.3g}, {outcome.ci_high:.3g}]")
+        if outcome.thresholds:
+            ladder = ", ".join(f"{level:.3g}" for level in outcome.thresholds)
+            print(f"levels:      {ladder}")
+            factors = ", ".join(f"{factor:.3g}" for factor in outcome.factors)
+            print(f"factors:     {factors}")
+        print(f"trials:      {outcome.trials_used}")
+        if outcome.saturated:
+            print("WARNING: a splitting level had zero survivors; the "
+                  "estimate degenerated to 0 — raise --trials-per-level")
+        if (outcome.probability > 0 and outcome.rel_error > 0
+                and outcome.rel_error != float("inf")):
+            equivalent = crude_trials_for(outcome.probability,
+                                          outcome.rel_error)
+            print(f"(crude Monte Carlo would need ~{equivalent} trials for "
+                  f"this relative error)")
+        passed = True
+        if args.rel_error is not None and not (outcome.rel_error
+                                               <= args.rel_error):
+            print(f"\nFAIL: relative error {outcome.rel_error:.3f} exceeds "
+                  f"the --rel-error target {args.rel_error:g}")
+            passed = False
+
+    if args.json:
+        payload = {"method": args.method, "campaign": spec.name,
+                   "cell": cell_index, "label": cell.label,
+                   "master_seed": args.seed, "engine": resolved_engine,
+                   "result": outcome.to_json(), "passed": passed}
+        status = _rare_json(args, payload)
+        if status:
+            return status
+    return 0 if passed else 1
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """Run the campaign CLI (the ``python -m repro.campaign`` entry point).
 
@@ -288,6 +533,29 @@ def main(argv: Sequence[str] | None = None) -> int:
     if (args.resume or args.status) and not args.store:
         flag = "--status" if args.status else "--resume"
         print(f"error: {flag} requires --store PATH", file=sys.stderr)
+        return 2
+    if args.method is not None:
+        if args.rel_error is not None and args.rel_error <= 0:
+            print("error: --rel-error must be positive", file=sys.stderr)
+            return 2
+        if not 0.0 < args.quantile < 1.0:
+            print("error: --quantile must be within (0, 1)", file=sys.stderr)
+            return 2
+        if args.trials_per_level < 2:
+            print("error: --trials-per-level must be at least 2",
+                  file=sys.stderr)
+            return 2
+        if args.method == "sprt":
+            if not 0.0 < args.p0 < args.p1 < 1.0:
+                print("error: SPRT hypotheses must satisfy 0 < --p0 < --p1 "
+                      "< 1", file=sys.stderr)
+                return 2
+            if not 0.0 < args.alpha < 1.0 or not 0.0 < args.beta < 1.0:
+                print("error: --alpha and --beta must be within (0, 1)",
+                      file=sys.stderr)
+                return 2
+    elif args.rel_error is not None or args.levels is not None:
+        print("error: --rel-error/--levels require --method", file=sys.stderr)
         return 2
     try:
         fault_plan = resolve_fault_plan(args.fault_plan)
@@ -334,6 +602,8 @@ def main(argv: Sequence[str] | None = None) -> int:
 
     preset = PRESETS[args.experiment]
     spec = build_spec(args)
+    if args.method is not None:
+        return _run_rare(args, spec, workers, engine, argv)
     total = spec.total_trials
     print(f"campaign {spec.name!r}: {total} trials across {len(spec.trials)} "
           f"cells, {workers} worker(s), master seed {args.seed}")

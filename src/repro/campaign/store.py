@@ -78,7 +78,11 @@ if TYPE_CHECKING:  # pragma: no cover - typing-only imports
 #: and letting the shared results ring feed commits directly.  Version 3
 #: added the ``failures`` table recording quarantined (permanently failed)
 #: trials, so a self-healed campaign documents exactly what it lost.
-SCHEMA_VERSION = 3
+#: Version 4 added the ``estimator`` table: keyed JSON state documents of
+#: the rare-event estimators (importance-splitting level checkpoints,
+#: decided SPRT verdicts), so ``--method split`` / ``--method sprt`` runs
+#: resume bit-identically alongside the trial rows.
+SCHEMA_VERSION = 4
 
 #: Bounded exponential backoff applied to commits that hit a transient
 #: ``sqlite3.OperationalError`` ("database is locked" / "database is
@@ -386,6 +390,12 @@ class CampaignStore:
                     " attempts INTEGER NOT NULL,"
                     " kind TEXT NOT NULL,"
                     " message TEXT NOT NULL)")
+                self._conn.execute(
+                    "CREATE TABLE IF NOT EXISTS estimator ("
+                    " kind TEXT NOT NULL,"
+                    " identity TEXT NOT NULL,"
+                    " state TEXT NOT NULL,"
+                    " PRIMARY KEY (kind, identity))")
         self._commits = 0
         crash_after = os.environ.get(CRASH_ENV_VAR)
         self._crash_after = int(crash_after) if crash_after else None
@@ -672,6 +682,61 @@ class CampaignStore:
                              attempts=int(row[4]), kind=row[5],
                              message=row[6])
                 for row in rows]
+
+    def save_estimator_state(self, kind: str, identity: str,
+                             state: dict) -> None:
+        """Durably commit one rare-event estimator's state document.
+
+        The estimator table is orthogonal to the trial rows: a splitting
+        run checkpoints its per-level progress here (with no trial rows at
+        all), while an SPRT run stores its decided verdict next to the
+        ordinary trial checkpoints its sub-campaign committed.  Writing
+        the same ``(kind, identity)`` again replaces the document — state
+        progresses monotonically, so the latest write is always the most
+        advanced checkpoint.
+
+        Args:
+            kind: Estimator family (``"split"`` / ``"sprt"``).
+            identity: Digest of everything that determines the estimator's
+                numbers (spec fingerprint, cell, settings) — never the
+                engine or worker count.
+            state: JSON-ready state document.
+        """
+        encoded = json.dumps(state, sort_keys=True, separators=(",", ":"))
+
+        def operation() -> None:
+            with self._conn:
+                self._conn.execute(
+                    "INSERT OR REPLACE INTO estimator (kind, identity, state)"
+                    " VALUES (?, ?, ?)", (kind, identity, encoded))
+        self._commit(operation, "estimator-state commit")
+        self._commits += 1
+        if self._crash_after is not None and self._commits >= self._crash_after:
+            # Same crash-injection hook as the trial path, so resume tests
+            # can SIGKILL a splitting run between levels.
+            os._exit(CRASH_EXIT_CODE)
+        if self.on_commit is not None:
+            self.on_commit(0)
+
+    def load_estimator_state(self, kind: str, identity: str) -> dict | None:
+        """Load one estimator state document, or ``None`` if absent.
+
+        Args:
+            kind: Estimator family (``"split"`` / ``"sprt"``).
+            identity: The estimator's identity digest.
+
+        Returns:
+            The decoded state document, or ``None`` when this estimator
+            has no checkpoint (including stores from pre-v4 databases,
+            which lack the table entirely).
+        """
+        try:
+            row = self._conn.execute(
+                "SELECT state FROM estimator WHERE kind = ? AND identity = ?",
+                (kind, identity)).fetchone()
+        except sqlite3.OperationalError:
+            return None
+        return json.loads(row[0]) if row is not None else None
 
     def mark_complete(self) -> None:
         """Record that every runnable trial of the campaign is checkpointed."""

@@ -56,14 +56,30 @@ class SurgeonModel:
     the laser-scalpel dwells in Fall-Back (time until the surgeon requests
     an emission); ``mean_toff`` is the expectation of the timer armed while
     the laser emits (time until the surgeon cancels).
+
+    ``resample_quantum`` caps how far ahead either timer commits to a
+    single RNG draw.  ``None`` (the default) draws each delay in one shot,
+    which is the cheapest implementation but fixes the whole delay at arm
+    time.  A positive quantum instead re-draws the remaining delay every
+    ``resample_quantum`` seconds; by the memorylessness of the exponential
+    distribution the fire-time law is *exactly* unchanged, but the draw is
+    spread over many RNG calls.  The rare-event splitting estimator
+    (:mod:`repro.verify.rare`) relies on this: a trial forked mid-emission
+    can only diverge from its parent through RNG draws made *after* the
+    fork point, so a one-shot delay makes every clone mirror its parent
+    until the emission ends, while quantised re-arming restores fresh
+    randomness each quantum.
     """
 
     mean_ton: float = 30.0
     mean_toff: float = 18.0
+    resample_quantum: float | None = None
 
     def __post_init__(self) -> None:
         if self.mean_ton <= 0 or self.mean_toff <= 0:
             raise ValueError("surgeon timer expectations must be positive")
+        if self.resample_quantum is not None and self.resample_quantum <= 0:
+            raise ValueError("resample_quantum must be positive when set")
 
 
 @dataclass(frozen=True)

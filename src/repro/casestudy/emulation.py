@@ -256,7 +256,8 @@ def run_trial(config: CaseStudyConfig, *, with_lease: bool = True,
               keep_trace: bool = False,
               record_variables: Sequence[tuple[str, str]] = (),
               engine: str | None = None,
-              fault=None) -> TrialResult:
+              fault=None,
+              observers: Sequence = ()) -> TrialResult:
     """Run one emulation trial and collect the Table I statistics.
 
     By default the statistics stream through a
@@ -286,6 +287,11 @@ def run_trial(config: CaseStudyConfig, *, with_lease: bool = True,
             deterministic in-trial failure
             (:class:`repro.campaign.faults.InjectedTrialFault`); ``None``
             (the default, and every production path) is a no-op.
+        observers: Extra :class:`~repro.hybrid.simulate.observers.TraceObserver`
+            instances attached after the statistics observer (streaming
+            path only; ignored with ``keep_trace=True``).  The rare-event
+            splitting estimator attaches its
+            :class:`~repro.casestudy.observers.RiskLevelObserver` here.
 
     Returns:
         The trial's :class:`TrialResult`.
@@ -315,7 +321,7 @@ def run_trial(config: CaseStudyConfig, *, with_lease: bool = True,
     if not keep_trace:
         stats = TrialStatsObserver(config)
         sim = case.engine(seed=seed, record_variables=sampled, kind=kind,
-                          observers=[stats], record_trace=False)
+                          observers=[stats, *observers], record_trace=False)
         sim.run(duration)
         measured = dict(
             laser_emissions=stats.laser_emissions,

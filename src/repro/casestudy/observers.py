@@ -18,7 +18,7 @@ test suite).
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Mapping
+from typing import Dict, Iterable, List, Mapping, Tuple
 
 from repro.casestudy.config import (CaseStudyConfig, LASER, PATIENT, SUPERVISOR,
                                     VENTILATOR)
@@ -30,6 +30,7 @@ from repro.core.monitor import MonitorReport, PTEMonitor
 from repro.core.pattern.roles import RISKY_CORE, qualified
 from repro.hybrid.simulate.observers import DwellTracker, TraceObserver
 from repro.hybrid.trace import TransitionRecord
+from repro.util.seeding import RngLedger, StreamKey
 
 #: Location in which the ventilator is paused and "running" its risky core.
 VENTILATOR_RISKY_CORE = qualified("xi1", RISKY_CORE)
@@ -198,3 +199,93 @@ class TrialStatsObserver(TraceObserver):
             "min_spo2": float(self.min_spo2),
             "pte_satisfied": int(self.failures == 0),
         }
+
+
+class RiskLevelObserver(TraceObserver):
+    """Streaming PTE risk score for rare-event importance splitting.
+
+    The observer tracks, for every entity the rule set monitors, the
+    longest continuous risky dwell seen so far (open dwells included, with
+    the same zero-duration-excursion merge rule as the monitor) and scores
+    the trial by the largest *fraction of the PTE dwelling bound* any
+    entity has consumed.  A score of 1.0 means some entity dwelt risky for
+    its full Rule-1 budget — the boundary of a violation.
+
+    The score is a non-decreasing step function of time.  Each time the
+    running maximum strictly increases, the observer records a
+    ``(score, watermark)`` staircase entry, where the watermark is the
+    active :class:`~repro.util.seeding.RngLedger`'s draw-count snapshot at
+    that instant (``None`` when no ledger is supplied).  The splitting
+    estimator later asks :meth:`watermark_at` for the first entry at or
+    above a threshold: replaying the trial's RNG streams up to that
+    watermark and diverging afterwards yields a child trial conditionally
+    distributed given "parent reached this risk level".
+
+    Heartbeats run *before* a transition is applied, so the watermark
+    recorded for a level crossing never includes draws from events after
+    the crossing instant.
+    """
+
+    def __init__(self, config: CaseStudyConfig, ledger: RngLedger | None = None):
+        self.config = config
+        self._ledger = ledger
+        rules = config.rules()
+        self._bounds = {entity: rules.dwelling_bound(entity)
+                        for entity in rules.entities}
+        self._trackers: Dict[str, DwellTracker] = {}
+        #: Strictly increasing ``(score, watermark)`` records, in time order.
+        self.staircase: List[Tuple[float, Dict[StreamKey, int] | None]] = []
+        self.score = 0.0
+
+    # -- observer hooks ----------------------------------------------------------
+    def begin_run(self, risky_locations: Mapping[str, set[str]]) -> None:
+        self.__init__(self.config, self._ledger)
+
+    def register_automaton(self, name: str, initial_location: str,
+                           risky_locations: Iterable[str] = ()) -> None:
+        if name in self._bounds:
+            tracker = DwellTracker(risky_locations)
+            tracker.enter(initial_location, 0.0)
+            self._trackers[name] = tracker
+
+    def on_transition(self, record: TransitionRecord) -> None:
+        self._heartbeat(record.time)
+        tracker = self._trackers.get(record.automaton)
+        if tracker is not None:
+            tracker.enter(record.target, record.time)
+
+    def on_sample(self, automaton: str, variable: str, time: float,
+                  value: float) -> None:
+        self._heartbeat(time)
+
+    def end_run(self, end_time: float) -> None:
+        self._heartbeat(end_time)
+        for tracker in self._trackers.values():
+            tracker.finish(end_time)
+
+    # -- scoring ---------------------------------------------------------------
+    def _heartbeat(self, now: float) -> None:
+        score = 0.0
+        for name, tracker in self._trackers.items():
+            dwell = max((end - start for start, end in tracker.intervals),
+                        default=0.0)
+            dwell = max(dwell, tracker.ongoing(now))
+            bound = self._bounds[name]
+            if bound > 0:
+                score = max(score, dwell / bound)
+        if score > self.score:
+            self.score = score
+            marks = self._ledger.snapshot() if self._ledger is not None else None
+            self.staircase.append((score, marks))
+
+    def watermark_at(self, threshold: float) -> Dict[StreamKey, int] | None:
+        """RNG watermark of the first staircase step at/above ``threshold``.
+
+        Returns ``None`` when the trial never reached the threshold or no
+        ledger was attached; an empty dict (no draws yet) is a valid,
+        non-``None`` watermark.
+        """
+        for score, marks in self.staircase:
+            if score >= threshold:
+                return marks
+        return None

@@ -56,15 +56,30 @@ class SurgeonProcess(EnvironmentProcess):
         self._rng = spawn_rng(seed, "surgeon")
         self._ton_at: float | None = None
         self._toff_at: float | None = None
+        self._ton_fires = True
+        self._toff_fires = True
         self.requests_issued = 0
         self.cancels_issued = 0
 
     # -- timer management ----------------------------------------------------------
+    # With ``model.resample_quantum`` set, a draw that exceeds the quantum
+    # schedules a re-arm checkpoint instead of a fire: at the checkpoint the
+    # remaining delay is drawn afresh.  Because the exponential distribution
+    # is memoryless this changes nothing in law -- it only spreads the delay
+    # over several RNG draws, which the splitting estimator needs (see
+    # :class:`~repro.casestudy.config.SurgeonModel`).
+    def _draw_delay(self, now: float, mean: float) -> tuple[float, bool]:
+        delay = self._rng.expovariate(1.0 / mean)
+        quantum = self.model.resample_quantum
+        if quantum is not None and delay > quantum:
+            return now + quantum, False
+        return now + delay, True
+
     def _arm_ton(self, now: float) -> None:
-        self._ton_at = now + self._rng.expovariate(1.0 / self.model.mean_ton)
+        self._ton_at, self._ton_fires = self._draw_delay(now, self.model.mean_ton)
 
     def _arm_toff(self, now: float) -> None:
-        self._toff_at = now + self._rng.expovariate(1.0 / self.model.mean_toff)
+        self._toff_at, self._toff_fires = self._draw_delay(now, self.model.mean_toff)
 
     def initialize(self, engine: SimulationEngine) -> None:
         self._ton_at = None
@@ -95,17 +110,25 @@ class SurgeonProcess(EnvironmentProcess):
 
     def wake(self, engine: SimulationEngine, now: float) -> None:
         if self._ton_at is not None and now >= self._ton_at - 1e-9:
+            fires = self._ton_fires
             self._ton_at = None
             if engine.location_of(self.laser_name) == self._fallback_location:
-                self.requests_issued += 1
-                engine.inject_event(self._cmd_request, sender=self.name)
+                if fires:
+                    self.requests_issued += 1
+                    engine.inject_event(self._cmd_request, sender=self.name)
+                else:
+                    self._arm_ton(now)
             else:  # pragma: no cover - defensive: timer should have been destroyed
                 pass
         if self._toff_at is not None and now >= self._toff_at - 1e-9:
+            fires = self._toff_fires
             self._toff_at = None
             if engine.location_of(self.laser_name) == self._emitting_location:
-                self.cancels_issued += 1
-                engine.inject_event(self._cmd_cancel, sender=self.name)
+                if fires:
+                    self.cancels_issued += 1
+                    engine.inject_event(self._cmd_cancel, sender=self.name)
+                else:
+                    self._arm_toff(now)
 
 
 class ScriptedSurgeon(EnvironmentProcess):

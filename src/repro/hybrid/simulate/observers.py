@@ -125,6 +125,23 @@ class DwellTracker:
         self._close_visit(end_time)
         self._location = None
 
+    def ongoing(self, now: float) -> float:
+        """Length of the current (still open) merged dwell at time ``now``.
+
+        Returns 0.0 when the automaton is not presently in a watched
+        location.  Applies the same zero-duration-excursion merge rule as
+        :meth:`_close_visit`, so ``max(closed intervals, ongoing(now))`` is
+        exactly the longest continuous dwell PTE Rule 1 would measure if
+        the run ended at ``now`` — the streaming risk score of the
+        rare-event splitting estimator.
+        """
+        if self._location is None or self._location not in self.watched:
+            return 0.0
+        start = self._entered_at
+        if self.intervals and abs(self.intervals[-1][1] - start) <= EPSILON:
+            start = self.intervals[-1][0]
+        return now - start
+
     def _close_visit(self, end: float) -> None:
         if self._location is None or self._location not in self.watched:
             return

@@ -8,9 +8,12 @@ that a single integer seed reproduces a whole experiment bit-for-bit.
 
 from __future__ import annotations
 
+import bisect
 import hashlib
 import random
-from typing import Iterator
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Tuple
 
 
 def _stable_mix(seed: int, stream: str) -> int:
@@ -42,6 +45,13 @@ def spawn_rng(seed: int | None, stream: str = "") -> random.Random:
     decorrelated generators, so adding a new consumer of randomness does not
     perturb the draws seen by existing consumers.
 
+    Inside an active :func:`rng_session` the generator is adopted by the
+    session's :class:`RngLedger`: its draws are counted, and — when the
+    session's :class:`ForkPlan` carries fork segments — replayed from the
+    parent trial's generators up to each recorded watermark before
+    switching to fresh child randomness.  Outside a session (every
+    pre-existing code path) the behaviour is unchanged.
+
     Args:
         seed: Master seed.  ``None`` produces an OS-seeded generator.
         stream: Human-readable stream name (e.g. ``"channel:uplink:xi1"``).
@@ -51,7 +61,198 @@ def spawn_rng(seed: int | None, stream: str = "") -> random.Random:
     """
     if seed is None:
         return random.Random()
+    if _ACTIVE_LEDGER is not None:
+        return _ACTIVE_LEDGER.spawn(seed, stream)
     return random.Random(_stable_mix(seed, stream))
+
+
+# -- RNG forking (rare-event importance splitting) ---------------------------
+#
+# The splitting estimator in ``repro.verify.rare`` needs *conditional*
+# trial continuations: a child trial that is bit-identical to its parent up
+# to the moment the parent first reached a risk level, and stochastically
+# independent afterwards.  Because every stochastic component draws through
+# :func:`spawn_rng`, that fork can be expressed purely in seed space:
+# replay the parent's generators for the first ``k`` draws of every stream
+# (``k`` recorded at the crossing — the *watermark*), then switch each
+# stream to a fresh generator derived from a child seed.  The replayed
+# prefix reproduces the parent trajectory exactly on any engine tier, so
+# the child is a proper sample from the conditional distribution given the
+# parent's level-entrance state.
+
+#: One RNG stream inside a session: ``(stream name, occurrence index)``.
+#: The occurrence index counts repeated ``spawn_rng`` calls with the same
+#: stream name (e.g. a channel seeded at construction and re-seeded by the
+#: engine's per-trial reset), which is deterministic under replay.
+StreamKey = Tuple[str, int]
+
+
+@dataclass(frozen=True)
+class ForkSegment:
+    """One fork in a trial's lineage.
+
+    Attributes:
+        seed: Child seed salting the post-fork randomness of every stream.
+        watermark: Per-stream draw counts at the fork point; streams absent
+            from the mapping had made no draws yet (or did not exist) when
+            the fork was recorded.
+    """
+
+    seed: int
+    watermark: Dict[StreamKey, int]
+
+    def to_json(self) -> dict:
+        """Encode the segment as JSON-ready primitives."""
+        return {"seed": int(self.seed),
+                "watermark": [[stream, occ, count] for (stream, occ), count
+                              in sorted(self.watermark.items())]}
+
+    @classmethod
+    def from_json(cls, data: dict) -> "ForkSegment":
+        """Rebuild a segment encoded by :meth:`to_json`."""
+        return cls(seed=int(data["seed"]),
+                   watermark={(stream, int(occ)): int(count)
+                              for stream, occ, count in data["watermark"]})
+
+
+@dataclass(frozen=True)
+class ForkPlan:
+    """The full stochastic identity of one (possibly forked) trial.
+
+    ``segments`` is the trial's fork lineage, oldest first: an empty tuple
+    is an ordinary root trial; each segment replays the prefix recorded by
+    its watermark and diverges afterwards with randomness salted by the
+    segment seed.  Running the same plan reproduces the same trial
+    bit-for-bit on any worker and any engine tier.
+    """
+
+    root_seed: int
+    segments: Tuple[ForkSegment, ...] = ()
+
+    def fork(self, seed: int, watermark: Dict[StreamKey, int]) -> "ForkPlan":
+        """Extend the lineage with one more fork point."""
+        return ForkPlan(self.root_seed,
+                        self.segments + (ForkSegment(seed, dict(watermark)),))
+
+    def to_json(self) -> dict:
+        """Encode the plan as JSON-ready primitives."""
+        return {"root_seed": int(self.root_seed),
+                "segments": [segment.to_json() for segment in self.segments]}
+
+    @classmethod
+    def from_json(cls, data: dict) -> "ForkPlan":
+        """Rebuild a plan encoded by :meth:`to_json`."""
+        return cls(root_seed=int(data["root_seed"]),
+                   segments=tuple(ForkSegment.from_json(part)
+                                  for part in data["segments"]))
+
+
+class _ForkedStream(random.Random):
+    """A ``random.Random`` that replays parent generators, then diverges.
+
+    Draw ``i`` (counting calls to :meth:`random` and :meth:`getrandbits`,
+    the two primitives every other ``random.Random`` method reduces to) is
+    served by the parent generator while ``i`` is below the first
+    watermark boundary, by the first child generator until the second
+    boundary, and so on.  Replaying the same call sequence therefore
+    reproduces the parent's draws exactly up to each fork and fresh,
+    decorrelated draws afterwards.
+    """
+
+    def __init__(self, generators: List[random.Random],
+                 boundaries: List[int]):
+        super().__init__(0)
+        self._generators = generators
+        self._boundaries = boundaries
+        self.draws = 0
+
+    def _generator(self) -> random.Random:
+        index = bisect.bisect_right(self._boundaries, self.draws)
+        self.draws += 1
+        return self._generators[index]
+
+    def random(self) -> float:
+        """Serve one uniform draw from the lineage-selected generator."""
+        return self._generator().random()
+
+    def getrandbits(self, k: int) -> int:
+        """Serve one ``getrandbits`` draw from the lineage-selected generator."""
+        return self._generator().getrandbits(k)
+
+
+class RngLedger:
+    """Per-trial registry of every RNG stream spawned during a session.
+
+    The ledger exists for two reasons: *counting* (its :meth:`snapshot`
+    is the watermark a risk-level observer records when a trial first
+    crosses a splitting threshold) and *forking* (streams spawned while a
+    plan with fork segments is active replay the parent's draws up to each
+    segment's watermark).  Both sides use the same draw counter, so a
+    watermark recorded in one run is exact replay state for the next.
+    """
+
+    def __init__(self, plan: ForkPlan):
+        self.plan = plan
+        self._streams: Dict[StreamKey, _ForkedStream] = {}
+        self._occurrences: Dict[str, int] = {}
+
+    def spawn(self, seed: int, stream: str) -> random.Random:
+        """Create (and track) the generator for one ``spawn_rng`` call."""
+        occurrence = self._occurrences.get(stream, 0)
+        self._occurrences[stream] = occurrence + 1
+        key: StreamKey = (stream, occurrence)
+        generators: List[random.Random] = [random.Random(_stable_mix(seed, stream))]
+        boundaries: List[int] = []
+        for segment in self.plan.segments:
+            generators.append(random.Random(
+                _stable_mix(segment.seed, f"fork:{stream}#{occurrence}")))
+            boundaries.append(int(segment.watermark.get(key, 0)))
+        forked = _ForkedStream(generators, boundaries)
+        self._streams[key] = forked
+        return forked
+
+    def snapshot(self) -> Dict[StreamKey, int]:
+        """Current per-stream draw counts (streams with zero draws omitted)."""
+        return {key: stream.draws for key, stream in self._streams.items()
+                if stream.draws}
+
+
+#: The session ledger :func:`spawn_rng` consults; trials run one at a time
+#: within a worker process, so a module-global (not thread-local) suffices.
+_ACTIVE_LEDGER: RngLedger | None = None
+
+
+def current_ledger() -> RngLedger | None:
+    """Return the active session's ledger, or ``None`` outside a session."""
+    return _ACTIVE_LEDGER
+
+
+@contextmanager
+def rng_session(plan: ForkPlan):
+    """Run one trial under a :class:`RngLedger` (fork-aware randomness).
+
+    Every :func:`spawn_rng` call inside the ``with`` block is adopted by
+    the yielded ledger.  Sessions do not nest: a trial is the unit of
+    forking.
+
+    Args:
+        plan: The trial's stochastic identity (root seed + fork lineage).
+
+    Yields:
+        The session's :class:`RngLedger`.
+
+    Raises:
+        RuntimeError: If a session is already active.
+    """
+    global _ACTIVE_LEDGER
+    if _ACTIVE_LEDGER is not None:
+        raise RuntimeError("rng_session does not nest: a session is already active")
+    ledger = RngLedger(plan)
+    _ACTIVE_LEDGER = ledger
+    try:
+        yield ledger
+    finally:
+        _ACTIVE_LEDGER = None
 
 
 class SeedSequenceFactory:

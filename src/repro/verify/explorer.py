@@ -10,6 +10,8 @@ quantifying the value of the leases.
 
 from __future__ import annotations
 
+import functools
+
 from dataclasses import dataclass, field
 from typing import Sequence
 
@@ -17,8 +19,15 @@ from repro.casestudy.config import CaseStudyConfig
 from repro.casestudy.emulation import run_trial
 from repro.verify.faults import FaultScenario, standard_fault_scenarios
 from repro.verify.properties import PropertyResult, TraceProperty
+from repro.verify.rare import (CellTemplate, RareEventEstimate, SplitSettings,
+                               crude_estimate, fixed_effort_splitting,
+                               pool_map, scored_case_trial)
 from repro.verify.report import CampaignReport, TrialRecord
+from repro.verify.sprt import SprtResult, SprtSettings, run_sprt_trials
 from repro.util.seeding import SeedSequenceFactory
+
+#: Estimation methods :func:`estimate_violation_probability` dispatches on.
+RARE_METHODS = ("crude", "split", "sprt")
 
 
 @dataclass
@@ -33,6 +42,24 @@ class CampaignSettings:
         with_lease: Whether to run the lease design or the no-lease baseline.
         engine: Simulation kernel executing the trials (``"reference"`` /
             ``"compiled"``); ``None`` defers to ``REPRO_ENGINE``.
+        method: Violation-probability estimation method used by
+            :func:`estimate_violation_probability`: ``"crude"`` Monte
+            Carlo, ``"split"`` multilevel importance splitting, or
+            ``"sprt"`` sequential hypothesis testing.
+        crude_trials: Trial budget of the ``"crude"`` method.
+        trials_per_level: Per-level effort of the ``"split"`` method (and
+            the dispatch batch of ``"sprt"``).
+        quantile: Adaptive promotion quantile of the ``"split"`` method.
+        levels: Explicit splitting thresholds (``None`` = adaptive).
+        max_levels: Adaptive level cap of the ``"split"`` method.
+        confidence: Confidence level of reported intervals.
+        p0: SPRT null hypothesis (H0: p <= p0).
+        p1: SPRT alternative hypothesis (H1: p >= p1).
+        alpha: SPRT type-I error budget.
+        beta: SPRT type-II error budget.
+        max_trials: SPRT truncation point.
+        max_workers: Worker processes for the rare-event estimators
+            (``1`` = serial; results are identical either way).
     """
 
     scenarios: Sequence[FaultScenario] = field(default_factory=standard_fault_scenarios)
@@ -41,6 +68,31 @@ class CampaignSettings:
     master_seed: int = 42
     with_lease: bool = True
     engine: str | None = None
+    method: str = "crude"
+    crude_trials: int = 512
+    trials_per_level: int = 64
+    quantile: float = 0.25
+    levels: tuple[float, ...] | None = None
+    max_levels: int = 12
+    confidence: float = 0.95
+    p0: float = 1e-4
+    p1: float = 1e-2
+    alpha: float = 0.05
+    beta: float = 0.05
+    max_trials: int = 10_000
+    max_workers: int = 1
+
+    def split_settings(self) -> SplitSettings:
+        """The ``"split"`` method's knobs as a :class:`SplitSettings`."""
+        return SplitSettings(trials_per_level=self.trials_per_level,
+                             quantile=self.quantile, levels=self.levels,
+                             max_levels=self.max_levels,
+                             confidence=self.confidence)
+
+    def sprt_settings(self) -> SprtSettings:
+        """The ``"sprt"`` method's knobs as a :class:`SprtSettings`."""
+        return SprtSettings(p0=self.p0, p1=self.p1, alpha=self.alpha,
+                            beta=self.beta, max_trials=self.max_trials)
 
 
 def run_case_study_campaign(config: CaseStudyConfig,
@@ -106,3 +158,65 @@ def compare_lease_vs_baseline(config: CaseStudyConfig,
         "with_lease": run_case_study_campaign(config, with_settings),
         "without_lease": run_case_study_campaign(config, without_settings),
     }
+
+
+def estimate_violation_probability(
+        config: CaseStudyConfig, settings: CampaignSettings,
+        scenario: FaultScenario | None = None,
+) -> RareEventEstimate | SprtResult:
+    """Estimate one scenario's PTE-violation probability.
+
+    Dispatches on ``settings.method``:
+
+    * ``"crude"`` — plain Monte Carlo over ``settings.crude_trials``
+      independent trials; returns a :class:`RareEventEstimate`.
+    * ``"split"`` — fixed-effort multilevel importance splitting over the
+      monitor's risk levels (see :mod:`repro.verify.rare`); returns a
+      :class:`RareEventEstimate` from typically orders of magnitude fewer
+      trials at equal relative error.
+    * ``"sprt"`` — Wald's sequential probability ratio test of
+      H0: p <= ``settings.p0`` vs H1: p >= ``settings.p1`` (see
+      :mod:`repro.verify.sprt`); returns an :class:`SprtResult` instead
+      of a point estimate.
+
+    All three methods run the same scored-trial machinery, derive every
+    seed deterministically from ``settings.master_seed``, and produce
+    bit-identical numbers for any ``settings.max_workers`` and any engine
+    tier.
+
+    Args:
+        config: Case-study configuration.
+        settings: Campaign parameters (method selection and knobs).
+        scenario: The loss process to estimate under; ``None`` uses the
+            configuration's calibrated channel.
+
+    Returns:
+        A :class:`RareEventEstimate` (crude/split) or an
+        :class:`SprtResult` (sprt).
+
+    Raises:
+        ValueError: If ``settings.method`` is not one of ``RARE_METHODS``.
+    """
+    if settings.method not in RARE_METHODS:
+        raise ValueError(f"unknown estimation method {settings.method!r}; "
+                         f"expected one of {RARE_METHODS}")
+    template = CellTemplate(config=config, with_lease=settings.with_lease,
+                            duration=settings.trial_duration,
+                            channel=scenario, engine=settings.engine)
+    trial_fn = functools.partial(scored_case_trial, template)
+    map_fn = functools.partial(pool_map, max_workers=settings.max_workers)
+    name = f"explorer:{scenario.name if scenario is not None else 'default'}"
+    if settings.method == "crude":
+        return crude_estimate(trial_fn, master_seed=settings.master_seed,
+                              trials=settings.crude_trials,
+                              name=f"crude:{name}", map_fn=map_fn,
+                              confidence=settings.confidence)
+    if settings.method == "split":
+        return fixed_effort_splitting(trial_fn,
+                                      master_seed=settings.master_seed,
+                                      settings=settings.split_settings(),
+                                      name=f"split:{name}", map_fn=map_fn)
+    return run_sprt_trials(trial_fn, master_seed=settings.master_seed,
+                           settings=settings.sprt_settings(),
+                           name=f"sprt:{name}",
+                           batch=settings.trials_per_level, map_fn=map_fn)

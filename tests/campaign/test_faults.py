@@ -385,8 +385,8 @@ class TestCliRecovery:
         assert payload["campaign"]["total_trials"] == 8
 
 
-class TestSchemaV3:
-    def test_failures_table_exists_with_schema_v3(self, tmp_path):
+class TestSchemaV4:
+    def test_failures_and_estimator_tables_exist_with_schema_v4(self, tmp_path):
         db = tmp_path / "campaign.db"
         with CampaignStore(db) as store:
             store.begin(_tiny_spec(2), 7, "summary")
@@ -399,8 +399,9 @@ class TestSchemaV3:
                 "SELECT name FROM sqlite_master WHERE type='table'")}
         finally:
             conn.close()
-        assert version is not None and int(version[0]) == 3
+        assert version is not None and int(version[0]) == 4
         assert "failures" in tables
+        assert "estimator" in tables
 
     def test_interrupted_error_message_carries_signal(self):
         exc = CampaignInterrupted(signal.SIGTERM)

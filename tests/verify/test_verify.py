@@ -2,8 +2,9 @@
 
 from repro.casestudy import CaseStudyConfig, run_trial
 from repro.verify import (CampaignSettings, FaultScenario, blackout_scenario,
-                          bounded_dwelling_property, pte_safety_property,
-                          run_case_study_campaign, single_risky_visit_per_round_property,
+                          bounded_dwelling_property, compare_lease_vs_baseline,
+                          pte_safety_property, run_case_study_campaign,
+                          single_risky_visit_per_round_property,
                           standard_fault_scenarios)
 from repro.verify.properties import auto_reset_property
 from repro.wireless import PerfectChannel
@@ -88,3 +89,42 @@ class TestCampaigns:
         by_scenario = report.by_scenario()
         assert by_scenario["perfect"] == (2, 2)
         assert "pass rate" in report.summary()
+
+
+class TestCompareLeaseVsBaseline:
+    PERFECT = [FaultScenario("perfect", "no loss", kind="perfect")]
+
+    def test_zero_violations_in_both_arms(self):
+        # Even without leases the baseline survives some no-loss trials
+        # (its failures are margin/dwell driven, not loss driven); with
+        # this seed both arms come back clean and the comparison must
+        # report that symmetric outcome, not divide by zero or invent a
+        # difference.
+        settings = CampaignSettings(scenarios=self.PERFECT,
+                                    seeds_per_scenario=1,
+                                    trial_duration=150.0, master_seed=1)
+        reports = compare_lease_vs_baseline(CONFIG, settings)
+        assert set(reports) == {"with_lease", "without_lease"}
+        for report in reports.values():
+            assert report.total_trials == 1
+            assert report.all_passed
+            assert report.pass_rate() == 1.0
+            assert report.failures == []
+
+    def test_single_replicate_per_arm(self):
+        # seeds_per_scenario=1 is the degenerate campaign: one trial per
+        # arm, and both arms must draw the *same* seed so the comparison
+        # is paired.
+        settings = CampaignSettings(scenarios=self.PERFECT,
+                                    seeds_per_scenario=1,
+                                    trial_duration=150.0, master_seed=2)
+        reports = compare_lease_vs_baseline(CONFIG, settings)
+        with_arm = reports["with_lease"]
+        without_arm = reports["without_lease"]
+        assert with_arm.total_trials == without_arm.total_trials == 1
+        assert with_arm.trials[0].seed == without_arm.trials[0].seed
+        assert with_arm.all_passed
+        # master_seed=2 is a no-loss trial the baseline loses on margin.
+        assert not without_arm.all_passed
+        assert without_arm.by_scenario()["perfect"] == (0, 1)
+        assert without_arm.pass_rate() == 0.0
